@@ -1,0 +1,52 @@
+// Ablation: publisher retention depth vs replication need (Section
+// III-D.3 / VI-E lesson 4).
+//
+// Sweeps extra retention added to the topics Proposition 1 would replicate
+// (0 = FRAME, 1 = FRAME+, 2-3 = beyond) at the 7525-topic workload with a
+// crash, reporting replication volume, Message Delivery CPU, and
+// loss-tolerance success.  Expected: +1 already removes every replication;
+// more retention buys nothing further (the curve is flat after +1).
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace frame;
+  using namespace frame::bench;
+  const BenchOptions options = BenchOptions::parse(argc, argv);
+
+  const std::size_t topics = 7525;
+  std::printf("Ablation: retention (Ni) vs replication, workload = %zu, "
+              "crash injected\n\n", topics);
+  std::printf("%-8s %-14s %-14s %-12s %-12s %-12s\n", "extraNi",
+              "replications", "prunes", "deliveryCPU%", "loss-ok(c2)%",
+              "loss-ok(all)%");
+  print_rule(76);
+
+  for (const std::uint32_t extra : {0u, 1u, 2u, 3u}) {
+    OnlineStats replications;
+    OnlineStats prunes;
+    OnlineStats cpu;
+    OnlineStats loss_c2;
+    OnlineStats loss_all;
+    const auto results =
+        run_seeded(options, ConfigName::kFrame, topics, /*crash=*/true,
+                   [extra](sim::ExperimentConfig& config) {
+                     config.extra_retention = extra;
+                   });
+    for (const auto& result : results) {
+      replications.add(
+          static_cast<double>(result.primary_stats.replications_executed));
+      prunes.add(static_cast<double>(result.primary_stats.prune_requests));
+      cpu.add(result.cpu.primary_delivery);
+      loss_c2.add(result.category(2).loss_success_pct);
+      double all = 0;
+      for (const auto& cat : result.categories) all += cat.loss_success_pct;
+      loss_all.add(all / static_cast<double>(result.categories.size()));
+    }
+    std::printf("%-8u %-14.0f %-14.0f %-12.1f %-12.1f %-12.1f\n", extra,
+                replications.mean(), prunes.mean(), cpu.mean(),
+                loss_c2.mean(), loss_all.mean());
+  }
+  std::printf("\nexpected: extraNi=1 drives replications to 0 (the FRAME+ "
+              "effect) with unchanged 100%% loss success\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: Proposition-1 selective replication, isolated from both the
+// scheduling policy (EDF held fixed) and the coordination mechanism
+// (2 x 2: selective x coordination), fault-free at 7525 and 10525 topics.
+//
+// This exposes a subtlety the headline FRAME-vs-FCFS comparison hides:
+// under EDF *with* coordination, a topic whose dispatch deadline precedes
+// its replication deadline gets its replication aborted post-hoc anyway
+// (Table 3, Replicate step 1), so Proposition 1's saving there is mostly
+// the avoided job churn.  Without coordination there is no post-hoc abort:
+// every non-best-effort topic's replication actually executes, and only
+// Proposition 1 stands between the delivery module and saturation.
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace frame;
+  using namespace frame::bench;
+  const BenchOptions options = BenchOptions::parse(argc, argv);
+
+  std::printf("Ablation: selective replication x coordination "
+              "(EDF held fixed), fault-free\n\n");
+  std::printf("%-8s %-10s %-8s | %-12s %-12s %-12s %-12s\n", "topics",
+              "selective", "coord", "deliveryCPU%", "repl-exec",
+              "repl-cancel", "lat-ok(c0)%");
+  print_rule(84);
+
+  for (const std::size_t topics : {7525ul, 10525ul}) {
+    for (const bool selective : {true, false}) {
+      for (const bool coordination : {true, false}) {
+        OnlineStats cpu;
+        OnlineStats executed;
+        OnlineStats cancelled;
+        OnlineStats lat0;
+        const auto results = run_seeded(
+            options, ConfigName::kFrame, topics, /*crash=*/false,
+            [selective, coordination](sim::ExperimentConfig& config) {
+              BrokerConfig broker = broker_config(ConfigName::kFrame);
+              broker.selective_replication = selective;
+              broker.coordination = coordination;
+              config.broker_override = broker;
+            });
+        for (const auto& result : results) {
+          cpu.add(result.cpu.primary_delivery);
+          executed.add(static_cast<double>(
+              result.primary_stats.replications_executed));
+          cancelled.add(static_cast<double>(
+              result.primary_stats.replicate_jobs_cancelled +
+              result.primary_stats.replications_aborted));
+          lat0.add(result.category(0).latency_success_pct);
+        }
+        std::printf("%-8zu %-10s %-8s | %-12.1f %-12.0f %-12.0f %-12.1f\n",
+                    topics, selective ? "on" : "off",
+                    coordination ? "on" : "off", cpu.mean(), executed.mean(),
+                    cancelled.mean(), lat0.mean());
+      }
+    }
+  }
+  std::printf(
+      "\nreading the table:\n"
+      "  selective on,  coord on   -> FRAME: replicates only cats 2+5.\n"
+      "  selective off, coord on   -> the extra replicate jobs (cats 0/1/3)\n"
+      "     are cancelled/aborted post-hoc because EDF dispatches first\n"
+      "     where Dd' < Dr' -- Proposition 1's saving here is the avoided\n"
+      "     job churn, a small CPU delta.\n"
+      "  selective off, coord off  -> no post-hoc cancellation exists, so\n"
+      "     every replication executes: ~50%% more delivery CPU than\n"
+      "     'selective on'.  Under FIFO ordering (the FCFS baselines),\n"
+      "     where replication runs *before* dispatch, the penalty grows to\n"
+      "     the full replicate+coordination cost and saturates the module\n"
+      "     (see bench_table4/5 and bench_analysis_capacity).\n"
+      "  selective on,  coord off  -> cheap in fault-free operation but\n"
+      "     pays the full Backup-Buffer drain at recovery (see the\n"
+      "     coordination ablation).\n");
+  return 0;
+}

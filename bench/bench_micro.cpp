@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark) for the hot data structures and code
+// paths: EDF job queue, ring buffers, wire codec, the Primary engine's
+// publish/dispatch/replicate path, and the event-channel stages.
+#include <benchmark/benchmark.h>
+
+#include "broker/primary_engine.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "core/job_queue.hpp"
+#include "eventsvc/correlation.hpp"
+#include "net/wire.hpp"
+
+namespace frame {
+namespace {
+
+Job make_job(JobKind kind, TopicId topic, SeqNo seq, TimePoint deadline,
+             std::uint64_t order) {
+  Job job;
+  job.kind = kind;
+  job.topic = topic;
+  job.seq = seq;
+  job.deadline = deadline;
+  job.order = order;
+  return job;
+}
+
+void BM_JobQueuePushPopEdf(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  JobQueue queue(SchedulingPolicy::kEdf);
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue.push(make_job(JobKind::kDispatch, 0, i,
+                        static_cast<TimePoint>(rng.next_below(1 << 20)), i));
+  }
+  std::uint64_t order = depth;
+  for (auto _ : state) {
+    queue.push(make_job(JobKind::kDispatch, 0, order,
+                        static_cast<TimePoint>(rng.next_below(1 << 20)),
+                        order));
+    ++order;
+    benchmark::DoNotOptimize(queue.pop());
+  }
+}
+BENCHMARK(BM_JobQueuePushPopEdf)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_JobQueuePushPopFifo(benchmark::State& state) {
+  JobQueue queue(SchedulingPolicy::kFifo);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    queue.push(make_job(JobKind::kDispatch, 0, i, 0, i));
+  }
+  std::uint64_t order = 4096;
+  for (auto _ : state) {
+    queue.push(make_job(JobKind::kDispatch, 0, order, 0, order));
+    ++order;
+    benchmark::DoNotOptimize(queue.pop());
+  }
+}
+BENCHMARK(BM_JobQueuePushPopFifo);
+
+void BM_JobQueueCancellation(benchmark::State& state) {
+  // The coordination path: push replicate + dispatch, cancel, pop both.
+  JobQueue queue(SchedulingPolicy::kEdf);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    queue.push(make_job(JobKind::kReplicate, 1, seq, 100, 2 * seq));
+    queue.push(make_job(JobKind::kDispatch, 1, seq, 200, 2 * seq + 1));
+    queue.cancel_replication(1, seq);
+    benchmark::DoNotOptimize(queue.pop());  // dispatch; replicate dropped
+    ++seq;
+  }
+}
+BENCHMARK(BM_JobQueueCancellation);
+
+void BM_RingBufferPushEvict(benchmark::State& state) {
+  RingBuffer<Message> ring(10);
+  SeqNo seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.push_back(make_test_message(0, seq++, 0)));
+  }
+}
+BENCHMARK(BM_RingBufferPushEvict);
+
+void BM_WireEncodeMessage(benchmark::State& state) {
+  const Message msg = make_test_message(7, 42, 123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        encode_message_frame(WireType::kPublish, msg));
+  }
+}
+BENCHMARK(BM_WireEncodeMessage);
+
+void BM_WireDecodeMessage(benchmark::State& state) {
+  const auto frame =
+      encode_message_frame(WireType::kPublish, make_test_message(7, 42, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_message_frame(frame));
+  }
+}
+BENCHMARK(BM_WireDecodeMessage);
+
+PrimaryEngine bench_engine(ConfigName name) {
+  TimingParams params;
+  params.delta_pb = 0;
+  params.delta_bs_edge = milliseconds(1);
+  params.delta_bs_cloud = milliseconds(20);
+  params.delta_bb = microseconds(50);
+  params.failover_x = milliseconds(50);
+  std::vector<TopicSpec> specs;
+  for (int cat = 0; cat < kTable2Categories; ++cat) {
+    specs.push_back(table2_spec(cat, static_cast<TopicId>(cat)));
+  }
+  PrimaryEngine engine(broker_config(name), std::move(specs), params);
+  for (TopicId topic = 0; topic < kTable2Categories; ++topic) {
+    engine.subscribe(topic, 100);
+  }
+  return engine;
+}
+
+void BM_EnginePublishDispatch(benchmark::State& state) {
+  // The FRAME fast path for a non-replicated topic: publish + dispatch.
+  PrimaryEngine engine = bench_engine(ConfigName::kFrame);
+  SeqNo seq = 1;
+  TimePoint now = 0;
+  for (auto _ : state) {
+    engine.on_publish(make_test_message(0, seq, now), now);
+    const auto job = engine.next_job();
+    benchmark::DoNotOptimize(engine.execute_dispatch(*job));
+    ++seq;
+    now += 1000;
+  }
+}
+BENCHMARK(BM_EnginePublishDispatch);
+
+void BM_EnginePublishReplicateDispatch(benchmark::State& state) {
+  // The replicated-topic path: publish + replicate + dispatch (+ prune).
+  PrimaryEngine engine = bench_engine(ConfigName::kFrame);
+  SeqNo seq = 1;
+  TimePoint now = 0;
+  for (auto _ : state) {
+    engine.on_publish(make_test_message(2, seq, now), now);
+    const auto rep = engine.next_job();
+    benchmark::DoNotOptimize(engine.execute_replicate(*rep));
+    const auto disp = engine.next_job();
+    benchmark::DoNotOptimize(engine.execute_dispatch(*disp));
+    ++seq;
+    now += 1000;
+  }
+}
+BENCHMARK(BM_EnginePublishReplicateDispatch);
+
+void BM_CorrelatorConjunction(benchmark::State& state) {
+  using namespace eventsvc;
+  Correlator correlator(CorrelationSpec{
+      CorrelationKind::kConjunction,
+      {SubscriptionPattern{1, kAnyType}, SubscriptionPattern{2, kAnyType}}});
+  Event a;
+  a.header = {1, 0, 0};
+  Event b;
+  b.header = {2, 0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(correlator.offer(a));
+    benchmark::DoNotOptimize(correlator.offer(b));
+  }
+}
+BENCHMARK(BM_CorrelatorConjunction);
+
+}  // namespace
+}  // namespace frame
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// Shared helpers for the table/figure reproduction harnesses: CLI parsing,
+// seed aggregation (mean ± 95% CI as the paper reports), and row printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/experiment.hpp"
+
+namespace frame::bench {
+
+/// Common knobs; every bench runs with sensible defaults when invoked with
+/// no arguments and accepts:
+///   --seeds=N       repetitions per cell (default 3; paper uses 10)
+///   --measure=SEC   measuring-phase length (default 8; paper uses 60)
+///   --fast          1 seed, 4-second measure (CI smoke runs)
+///   --full          10 seeds, 60-second measure (paper-faithful; slow)
+struct BenchOptions {
+  int seeds = 3;
+  double measure_seconds = 8.0;
+  double warmup_seconds = 1.0;
+  double drain_seconds = 2.0;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--seeds=", 0) == 0) {
+        options.seeds = std::atoi(arg.c_str() + 8);
+      } else if (arg.rfind("--measure=", 0) == 0) {
+        options.measure_seconds = std::atof(arg.c_str() + 10);
+      } else if (arg == "--fast") {
+        options.seeds = 1;
+        options.measure_seconds = 4.0;
+      } else if (arg == "--full") {
+        options.seeds = 10;
+        options.measure_seconds = 60.0;
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf(
+            "options: --seeds=N --measure=SECONDS --fast --full\n");
+        std::exit(0);
+      }
+    }
+    if (options.seeds < 1) options.seeds = 1;
+    return options;
+  }
+
+  sim::ExperimentConfig base_config() const {
+    sim::ExperimentConfig config;
+    config.warmup = milliseconds_f(warmup_seconds * 1e3);
+    config.measure = milliseconds_f(measure_seconds * 1e3);
+    config.drain = milliseconds_f(drain_seconds * 1e3);
+    return config;
+  }
+};
+
+inline constexpr ConfigName kAllConfigs[] = {
+    ConfigName::kFramePlus, ConfigName::kFrame, ConfigName::kFcfs,
+    ConfigName::kFcfsMinus};
+
+/// Runs `seeds` repetitions of `config` varying the seed; returns one
+/// result per seed.
+template <typename Mutator>
+std::vector<sim::ExperimentResult> run_seeded(
+    const BenchOptions& options, ConfigName name, std::size_t topics,
+    bool crash, Mutator&& mutate) {
+  std::vector<sim::ExperimentResult> results;
+  for (int rep = 0; rep < options.seeds; ++rep) {
+    sim::ExperimentConfig config = options.base_config();
+    config.config = name;
+    config.total_topics = topics;
+    config.inject_crash = crash;
+    config.seed = 1000 + static_cast<std::uint64_t>(rep) * 7919;
+    mutate(config);
+    results.push_back(sim::run_experiment(config));
+  }
+  return results;
+}
+
+inline std::vector<sim::ExperimentResult> run_seeded(
+    const BenchOptions& options, ConfigName name, std::size_t topics,
+    bool crash) {
+  return run_seeded(options, name, topics, crash,
+                    [](sim::ExperimentConfig&) {});
+}
+
+/// mean ± 95% CI formatted like the paper's tables.
+inline std::string fmt_ci(const OnlineStats& stats) {
+  char buf[64];
+  if (stats.count() <= 1 || stats.ci95_half_width() < 0.05) {
+    std::snprintf(buf, sizeof(buf), "%6.1f", stats.mean());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%6.1f +/- %4.1f", stats.mean(),
+                  stats.ci95_half_width());
+  }
+  return buf;
+}
+
+/// Aggregates a per-category metric over seed repetitions.
+template <typename Getter>
+OnlineStats aggregate(const std::vector<sim::ExperimentResult>& results,
+                      int category, Getter&& get) {
+  OnlineStats stats;
+  for (const auto& result : results) {
+    stats.add(get(result.category(category)));
+  }
+  return stats;
+}
+
+inline const char* row_label(int category) {
+  // Table rows are labelled by (Di, Li) as in the paper.
+  switch (category) {
+    case 0:
+      return " 50    0 ";
+    case 1:
+      return " 50    3 ";
+    case 2:
+      return "100    0 ";
+    case 3:
+      return "100    3 ";
+    case 4:
+      return "100  inf ";
+    case 5:
+      return "500    0 ";
+    default:
+      return "   ?     ";
+  }
+}
+
+inline void print_rule(int width = 96) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace frame::bench

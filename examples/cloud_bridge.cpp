@@ -1,0 +1,86 @@
+// Cloud-bridge scenario (Section III-D.5): the same broker serves
+// edge-bound traffic (sub-millisecond links, tight deadlines) and
+// cloud-bound traffic (tens of milliseconds, relaxed deadlines).  The
+// example shows why the configured ΔBS must be a measured *lower bound*:
+// it measures the live ΔBS per destination, compares it against the
+// configured bounds, and shows the replication decisions staying safe.
+//
+//   $ ./cloud_bridge
+#include <cstdio>
+#include <thread>
+
+#include "common/stats.hpp"
+#include "runtime/system.hpp"
+
+int main() {
+  using namespace frame;
+  using namespace frame::runtime;
+
+  SystemOptions options;
+  options.config = ConfigName::kFrame;
+  options.timing.delta_pb = milliseconds(5);
+  options.timing.delta_bs_edge = microseconds(300); // configured lower bound
+  options.timing.delta_bs_cloud = milliseconds(20); // configured lower bound
+  options.timing.delta_bb = milliseconds(1);
+  options.timing.failover_x = milliseconds(60);
+  options.edge_latency = microseconds(400);   // actual edge one-way latency
+  options.cloud_latency = milliseconds(24);   // actual cloud one-way latency
+
+  const TopicSpec fast_control{0, milliseconds(100), milliseconds(150), 0, 2,
+                               Destination::kEdge};
+  const TopicSpec cloud_log{1, milliseconds(500), milliseconds(800), 0, 2,
+                            Destination::kCloud};
+
+  std::printf("replication decisions (Proposition 1):\n");
+  for (const auto& spec : {fast_control, cloud_log}) {
+    std::printf("  topic %u (%s): Dd'=%.1f ms Dr'=%.1f ms -> %s\n", spec.id,
+                std::string(to_string(spec.destination)).c_str(),
+                to_millis(dispatch_pseudo_deadline(spec, options.timing)),
+                to_millis(replication_pseudo_deadline(spec, options.timing)),
+                needs_replication(spec, options.timing) ? "replicate"
+                                                        : "suppress");
+  }
+
+  EdgeSystem system(options,
+                    {ProxyGroup{milliseconds(100), {fast_control}},
+                     ProxyGroup{milliseconds(500), {cloud_log}}});
+  system.subscriber(system.subscriber_index_of(0)).watch(0);
+  system.subscriber(2).watch(1);
+
+  system.start();
+  std::this_thread::sleep_for(std::chrono::seconds(3));
+  system.stop();
+
+  const auto report = [&](TopicId topic, const char* label,
+                          Duration configured_bound) {
+    const auto trace =
+        system.subscriber(system.subscriber_index_of(topic)).trace(topic);
+    if (trace.empty()) {
+      std::printf("  %s: no samples\n", label);
+      return;
+    }
+    OnlineStats delta_bs;
+    OnlineStats e2e;
+    for (const auto& sample : trace) {
+      delta_bs.add(to_millis(sample.delta_bs));
+      e2e.add(to_millis(sample.latency));
+    }
+    std::printf("  %s: %zu msgs, DeltaBS min/mean/max = %.2f/%.2f/%.2f ms "
+                "(configured bound %.1f ms %s), e2e mean %.2f ms\n",
+                label, delta_bs.count(), delta_bs.min(), delta_bs.mean(),
+                delta_bs.max(), to_millis(configured_bound),
+                delta_bs.min() >= to_millis(configured_bound) * 0.999
+                    ? "holds"
+                    : "VIOLATED",
+                e2e.mean());
+  };
+
+  std::printf("\nmeasured run-time latencies:\n");
+  report(0, "edge control topic", options.timing.delta_bs_edge);
+  report(1, "cloud logging topic", options.timing.delta_bs_cloud);
+
+  std::printf("\nthe lower-bound rule (Section III-D.5): an occasional "
+              "cloud-latency increase\ncannot break loss tolerance, because "
+              "suppression decisions used the measured minimum.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// frame_analyze: offline analysis tool for deployment configurations.
+//
+// Reads a deployment description (timing parameters + topics; see
+// core/config_file.hpp for the format) and prints the full Section-III
+// analysis: per-topic admission, dispatch/replication pseudo deadlines,
+// Proposition-1 decisions, the EDF precedence ordering, delivery-capacity
+// utilisation, and the effect of the FRAME+ retention bump.
+//
+//   $ ./frame_analyze deployment.frame
+//   $ ./frame_analyze                          # built-in Table-2 set
+//   $ ./frame_analyze deployment.frame --simulate [--crash]
+//       additionally runs the deployment through the discrete-event
+//       simulator (FRAME configuration) and reports per-group results
+#include <cstdio>
+#include <string>
+
+#include "core/capacity.hpp"
+#include "core/config_file.hpp"
+#include "core/differentiation.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace frame;
+
+  bool simulate = false;
+  bool crash = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--simulate") {
+      simulate = true;
+    } else if (arg == "--crash") {
+      crash = true;
+    } else if (arg[0] != '-') {
+      path = argv[i];
+    }
+  }
+
+  DeploymentConfig config;
+  if (path != nullptr) {
+    auto loaded = load_deployment_config(path);
+    if (!loaded.is_ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+    config = loaded.take();
+    std::printf("deployment: %s (%zu topics)\n\n", path,
+                config.topics.size());
+  } else {
+    config.timing.delta_pb = milliseconds(1);
+    config.timing.delta_bs_edge = milliseconds(1);
+    config.timing.delta_bs_cloud = milliseconds(20);
+    config.timing.delta_bb = microseconds(50);
+    config.timing.failover_x = milliseconds(50);
+    for (int cat = 0; cat < kTable2Categories; ++cat) {
+      config.topics.push_back(table2_spec(cat, static_cast<TopicId>(cat)));
+      config.groups.push_back(cat);
+    }
+    std::printf("deployment: built-in Table-2 categories (%zu topics)\n\n",
+                config.topics.size());
+  }
+
+  // ---- per-topic analysis ------------------------------------------------
+  std::printf("%-6s %-8s %-8s %-6s %-4s %-6s %-10s %-10s %-8s %s\n", "topic",
+              "Ti(ms)", "Di(ms)", "Li", "Ni", "dest", "Dd'(ms)", "Dr'(ms)",
+              "minNi", "verdict");
+  std::size_t rejected = 0;
+  for (const auto& spec : config.topics) {
+    const Status admitted = admission_test(spec, config.timing);
+    const Duration dd = dispatch_pseudo_deadline(spec, config.timing);
+    const Duration dr = replication_pseudo_deadline(spec, config.timing);
+    char li[16];
+    if (spec.best_effort()) {
+      std::snprintf(li, sizeof(li), "inf");
+    } else {
+      std::snprintf(li, sizeof(li), "%u", spec.loss_tolerance);
+    }
+    char drbuf[20];
+    if (dr == kDurationInfinite) {
+      std::snprintf(drbuf, sizeof(drbuf), "inf");
+    } else {
+      std::snprintf(drbuf, sizeof(drbuf), "%.2f", to_millis(dr));
+    }
+    std::string verdict;
+    if (!admitted.is_ok()) {
+      verdict = "REJECT: " + admitted.to_string();
+      ++rejected;
+    } else if (needs_replication(spec, config.timing)) {
+      verdict = "admit, replicate";
+    } else {
+      verdict = "admit, no replication (Prop. 1)";
+    }
+    std::printf("%-6u %-8.1f %-8.1f %-6s %-4u %-6s %-10.2f %-10s %-8u %s\n",
+                spec.id, to_millis(spec.period), to_millis(spec.deadline),
+                li, spec.retention,
+                std::string(to_string(spec.destination)).c_str(),
+                to_millis(dd), drbuf,
+                min_retention_for_admission(spec, config.timing),
+                verdict.c_str());
+  }
+
+  // ---- capacity ----------------------------------------------------------
+  const DeliveryCostModel costs;
+  const CapacityReport frame_report =
+      analyze_capacity(config.topics, config.timing, costs, true);
+  const CapacityReport fcfs_report =
+      analyze_capacity(config.topics, config.timing, costs, false);
+  std::printf("\ndelivery capacity (2 cores, calibrated costs):\n");
+  std::printf("  message rate: %.0f msg/s\n", frame_report.message_rate);
+  std::printf("  FRAME : utilisation %.1f%%, %zu replicated topics (%.0f%% "
+              "of traffic) -> %s\n",
+              100 * frame_report.utilization, frame_report.replicated_topics,
+              100 * frame_report.replicated_share,
+              frame_report.schedulable ? "schedulable" : "OVERLOAD");
+  std::printf("  FCFS  : utilisation %.1f%%, %zu replicated topics (%.0f%% "
+              "of traffic) -> %s\n",
+              100 * fcfs_report.utilization, fcfs_report.replicated_topics,
+              100 * fcfs_report.replicated_share,
+              fcfs_report.schedulable ? "schedulable" : "OVERLOAD");
+
+  const auto bumped =
+      with_extra_retention(config.topics, config.timing, 1);
+  const CapacityReport plus_report =
+      analyze_capacity(bumped, config.timing, costs, true);
+  std::printf("  FRAME+: utilisation %.1f%% after the +1 retention bump "
+              "(%zu replicated topics)\n",
+              100 * plus_report.utilization, plus_report.replicated_topics);
+
+  if (rejected > 0) {
+    std::printf("\n%zu topic(s) rejected by the admission test\n", rejected);
+    return 2;
+  }
+
+  if (simulate) {
+    std::printf("\nsimulating the deployment (FRAME configuration%s)...\n",
+                crash ? ", Primary crash injected mid-run" : "");
+    sim::ExperimentConfig experiment;
+    experiment.config = ConfigName::kFrame;
+    experiment.timing = config.timing;
+    experiment.warmup = seconds(1);
+    experiment.measure = seconds(8);
+    experiment.drain = seconds(2);
+    experiment.inject_crash = crash;
+    experiment.seed = 1;
+    experiment.custom_workload =
+        sim::make_custom_workload(config.topics, config.groups);
+    const auto result = sim::run_experiment(experiment);
+
+    std::printf("  %-8s %-8s %-12s %-12s %-10s %-10s\n", "group", "topics",
+                "loss-ok(%)", "lat-ok(%)", "losses", "worst-run");
+    for (const auto& row : result.categories) {
+      std::printf("  %-8d %-8zu %-12.1f %-12.1f %-10llu %-10llu\n",
+                  row.category, row.topic_count, row.loss_success_pct,
+                  row.latency_success_pct,
+                  static_cast<unsigned long long>(row.total_losses),
+                  static_cast<unsigned long long>(
+                      row.worst_consecutive_losses));
+    }
+    std::printf("  delivery CPU %.1f%%, proxy CPU %.1f%%, backup proxy "
+                "%.1f%%\n",
+                result.cpu.primary_delivery, result.cpu.primary_proxy,
+                result.cpu.backup_proxy);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reintegration demo: the system survives TWO broker crashes.
+//
+// Timeline: the Primary is crashed (as in the paper's experiment); the
+// Backup takes over; the crashed host then restarts as the new Backup,
+// receives a state sync, and replication resumes; finally the promoted
+// broker is crashed too and the rejoined one takes over again — with the
+// zero-loss topics still meeting their requirement end to end.
+//
+//   $ ./reintegration_demo
+#include <cstdio>
+#include <thread>
+
+#include "runtime/system.hpp"
+
+int main() {
+  using namespace frame;
+  using namespace frame::runtime;
+
+  SystemOptions options;
+  options.config = ConfigName::kFrame;
+  options.timing.delta_pb = milliseconds(5);
+  options.timing.delta_bs_edge = milliseconds(1);
+  options.timing.delta_bs_cloud = milliseconds(20);
+  options.timing.delta_bb = milliseconds(1);
+  options.timing.failover_x = milliseconds(60);
+
+  std::vector<ProxyGroup> proxies{ProxyGroup{
+      milliseconds(100),
+      {
+          TopicSpec{0, milliseconds(100), milliseconds(150), 0, 2,
+                    Destination::kEdge},  // zero loss via retention
+          TopicSpec{1, milliseconds(100), milliseconds(200), 0, 1,
+                    Destination::kEdge},  // zero loss via replication
+      }}};
+
+  EdgeSystem system(options, proxies);
+  system.start();
+  std::printf("[0.0s] running: Primary serving, Backup replicating\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+
+  std::printf("[0.8s] >>> crash #1: killing the Primary <<<\n");
+  system.crash_primary();
+  if (!system.wait_for_failover(seconds(5))) {
+    std::printf("failover #1 did not complete\n");
+    return 1;
+  }
+  std::printf("[0.9s] Backup promoted; publishers re-sent retained "
+              "messages\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  std::printf("[1.4s] reintegrating the crashed host as the new Backup "
+              "(state sync + replication resume)\n");
+  system.rejoin_crashed_primary();
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  std::printf("[2.1s] redundancy restored: new Backup holds %llu replicas\n",
+              static_cast<unsigned long long>(
+                  system.primary().backup_stats().replicas_received));
+
+  std::printf("[2.1s] >>> crash #2: killing the promoted broker <<<\n");
+  system.backup().crash();
+  const MonotonicClock clock;
+  const TimePoint deadline = clock.now() + seconds(5);
+  while (clock.now() < deadline && !system.primary().is_primary()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!system.primary().is_primary()) {
+    std::printf("failover #2 did not complete\n");
+    return 1;
+  }
+  std::printf("[2.2s] rejoined broker promoted; serving again\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  system.stop();
+
+  std::printf("\n--- results across two crashes ---\n");
+  for (const auto& spec : proxies[0].topics) {
+    const SeqNo last = system.last_seq(spec.id);
+    if (last < 2) continue;
+    const auto& sub = system.subscriber(system.subscriber_index_of(spec.id));
+    const auto loss = sub.loss_stats(spec.id, 1, last - 1);
+    std::printf("topic %u (Li=%u): %llu losses, worst run %llu -> %s\n",
+                spec.id, spec.loss_tolerance,
+                static_cast<unsigned long long>(loss.total_losses),
+                static_cast<unsigned long long>(loss.max_consecutive_losses),
+                loss.max_consecutive_losses <= spec.loss_tolerance
+                    ? "requirement MET"
+                    : "VIOLATED");
+  }
+  return 0;
+}

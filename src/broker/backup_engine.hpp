@@ -1,0 +1,64 @@
+// The Backup broker's state machine during fault-free operation: it stores
+// replicas, applies prune requests, and on promotion hands the pruned
+// recovery set to a fresh Primary engine (paper Sections IV-A/B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "broker/config.hpp"
+#include "core/backup_store.hpp"
+#include "net/message.hpp"
+
+namespace frame {
+
+class BackupEngine {
+ public:
+  explicit BackupEngine(const BrokerConfig& config)
+      : store_(config.backup_buffer_capacity) {}
+
+  void configure(std::size_t topic_count) { store_.configure(topic_count); }
+
+  /// Replica arrival from the Primary.  `now` is tb.
+  void on_replica(const Message& msg, TimePoint now) {
+    store_.insert(msg, now);
+    ++stats_.replicas_received;
+  }
+
+  /// Prune request: the original copy was dispatched, set Discard.
+  void on_prune(TopicId topic, SeqNo seq) {
+    ++stats_.prunes_received;
+    if (store_.prune(topic, seq)) ++stats_.prunes_applied;
+  }
+
+  /// Promotion (Section IV-A, fault recovery): returns the recovery set —
+  /// every copy whose Discard flag is still false — oldest-first per topic.
+  /// The store is cleared; the caller feeds the set to the new Primary
+  /// engine as recovery copies.
+  std::vector<Message> promote() {
+    std::vector<Message> recovery;
+    store_.for_each_live(
+        [&](const BackupEntry& entry) { recovery.push_back(entry.msg); });
+    stats_.recovered = recovery.size();
+    stats_.skipped_discarded = store_.size() - recovery.size();
+    store_.clear();
+    return recovery;
+  }
+
+  const BackupStore& store() const { return store_; }
+
+  struct Stats {
+    std::uint64_t replicas_received = 0;
+    std::uint64_t prunes_received = 0;
+    std::uint64_t prunes_applied = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t skipped_discarded = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  BackupStore store_;
+  Stats stats_;
+};
+
+}  // namespace frame

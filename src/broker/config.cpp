@@ -1,0 +1,42 @@
+#include "broker/config.hpp"
+
+namespace frame {
+
+std::string_view to_string(ConfigName name) {
+  switch (name) {
+    case ConfigName::kFrame:
+      return "FRAME";
+    case ConfigName::kFramePlus:
+      return "FRAME+";
+    case ConfigName::kFcfs:
+      return "FCFS";
+    case ConfigName::kFcfsMinus:
+      return "FCFS-";
+  }
+  return "?";
+}
+
+BrokerConfig broker_config(ConfigName name) {
+  BrokerConfig config;
+  switch (name) {
+    case ConfigName::kFrame:
+    case ConfigName::kFramePlus:
+      config.scheduling = SchedulingPolicy::kEdf;
+      config.selective_replication = true;
+      config.coordination = true;
+      break;
+    case ConfigName::kFcfs:
+      config.scheduling = SchedulingPolicy::kFifo;
+      config.selective_replication = false;
+      config.coordination = true;
+      break;
+    case ConfigName::kFcfsMinus:
+      config.scheduling = SchedulingPolicy::kFifo;
+      config.selective_replication = false;
+      config.coordination = false;
+      break;
+  }
+  return config;
+}
+
+}  // namespace frame

@@ -1,0 +1,44 @@
+// Broker configuration: the four configurations of the paper's evaluation
+// expressed as policy knobs on one implementation (Section VI-A).
+//
+//   FRAME   EDF scheduling, Proposition-1 selective replication,
+//           dispatch-replicate coordination.
+//   FRAME+  same broker policies as FRAME; the *workload* additionally
+//           raises Ni by one for the categories that would replicate,
+//           which removes replication entirely (use
+//           with_extra_retention()).
+//   FCFS    no differentiation: FIFO handling, every non-best-effort topic
+//           replicated (replicate before dispatch), coordination on.
+//   FCFS-   FCFS without dispatch-replicate coordination.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "core/backup_store.hpp"
+#include "core/job_queue.hpp"
+
+namespace frame {
+
+struct BrokerConfig {
+  SchedulingPolicy scheduling = SchedulingPolicy::kEdf;
+  bool selective_replication = true;  ///< apply Proposition 1
+  bool coordination = true;           ///< Table 3 dispatch-replicate coordination
+  std::size_t message_buffer_capacity = 64;
+  std::size_t backup_buffer_capacity = BackupStore::kDefaultPerTopicCapacity;
+};
+
+enum class ConfigName { kFrame, kFramePlus, kFcfs, kFcfsMinus };
+
+std::string_view to_string(ConfigName name);
+
+/// Broker policy preset for a named configuration.  FRAME+ shares FRAME's
+/// broker policies; its difference is the workload retention bump.
+BrokerConfig broker_config(ConfigName name);
+
+/// True for configurations whose workload applies the +1 retention bump.
+constexpr bool uses_retention_bump(ConfigName name) {
+  return name == ConfigName::kFramePlus;
+}
+
+}  // namespace frame

@@ -1,0 +1,51 @@
+// Crash detection by periodic polling (Section IV-A): "The Backup tracks
+// the status of its Primary via periodic polling, and would become a new
+// Primary once it detected that its Primary had crashed."
+//
+// The detector is passive: the driver sends kPoll frames on its schedule,
+// feeds replies in via on_reply(), and asks suspected() on each tick.  The
+// publishers run the same logic with their own timeout x.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace frame {
+
+class PollingFailureDetector {
+ public:
+  /// `poll_period` is the probe interval; the peer is suspected after
+  /// `miss_threshold` consecutive periods without a reply.
+  PollingFailureDetector(Duration poll_period, int miss_threshold)
+      : poll_period_(poll_period), miss_threshold_(miss_threshold) {}
+
+  /// Arms the detector; `now` counts as the last proof of life.
+  void start(TimePoint now) {
+    last_reply_ = now;
+    started_ = true;
+  }
+
+  void on_reply(TimePoint now) {
+    if (now > last_reply_) last_reply_ = now;
+  }
+
+  bool suspected(TimePoint now) const {
+    if (!started_) return false;
+    return now - last_reply_ > poll_period_ * miss_threshold_;
+  }
+
+  Duration poll_period() const { return poll_period_; }
+
+  /// Worst-case detection latency: the bound to use for the publisher
+  /// fail-over time x in the timing analysis.
+  Duration detection_bound() const {
+    return poll_period_ * (miss_threshold_ + 1);
+  }
+
+ private:
+  Duration poll_period_;
+  int miss_threshold_;
+  TimePoint last_reply_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace frame

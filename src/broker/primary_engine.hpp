@@ -1,0 +1,125 @@
+// The Primary broker's state machine: Message Proxy + Job Generator +
+// EDF Job Queue + the Primary side of dispatch-replicate coordination
+// (paper Sections IV-A and IV-B, Table 3).
+//
+// The engine is clock-agnostic and single-threaded by contract: a driver
+// (the discrete-event simulator or the real-thread runtime) feeds it
+// arrivals and pops/executes jobs, passing explicit timestamps.  All
+// network and CPU effects are returned as value objects for the driver to
+// realise, which keeps the paper's algorithms in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "broker/config.hpp"
+#include "core/job.hpp"
+#include "core/job_queue.hpp"
+#include "core/message_store.hpp"
+#include "core/timing.hpp"
+#include "core/topic.hpp"
+#include "net/message.hpp"
+
+namespace frame {
+
+/// Result of executing a dispatch job.
+struct DispatchEffect {
+  bool executed = false;  ///< false: referenced copy no longer in the buffer
+  Message msg;
+  std::vector<NodeId> subscribers;  ///< deliver to each of these
+  bool prune_backup = false;  ///< coordination: tell Backup to set Discard
+  bool coordinated = false;   ///< any coordination work happened (prune or
+                              ///< replicate-job cancellation)
+};
+
+/// Result of executing a replicate job.
+struct ReplicateEffect {
+  bool executed = false;  ///< false: aborted (already dispatched) or stale
+  bool aborted_dispatched = false;  ///< Table 3 Replicate step 1 fired
+  Message msg;
+};
+
+class PrimaryEngine {
+ public:
+  /// `specs` must have dense ids 0..specs.size()-1.
+  PrimaryEngine(BrokerConfig config, std::vector<TopicSpec> specs,
+                TimingParams params);
+
+  /// Registers a subscriber for a topic.  Multiple subscribers share one
+  /// dispatch job per message (Section IV-A).
+  void subscribe(TopicId topic, NodeId subscriber);
+
+  const TopicSpec& spec(TopicId topic) const { return specs_[topic]; }
+  const TopicTiming& timing(TopicId topic) const { return timings_[topic]; }
+  std::size_t topic_count() const { return specs_.size(); }
+  bool replicates(TopicId topic) const { return timings_[topic].replicate; }
+
+  /// Message Proxy entry point: copies the message into the Message Buffer
+  /// and runs the Job Generator (dispatch job, plus a replicate job unless
+  /// suppressed).  `now` is tp, the broker arrival time.
+  /// `allow_replication` is cleared by the promoted Backup, which has no
+  /// Backup of its own to replicate to.
+  void on_publish(const Message& msg, TimePoint now,
+                  bool allow_replication = true);
+
+  /// Recovery path (promoted Backup): same as an arrival, except the job
+  /// references the Backup Buffer, no replication is created, and ΔPB
+  /// reflects the recovery processing time (Section IV-A).
+  void on_recovery_copy(const Message& msg, TimePoint now);
+
+  /// Message Delivery: pops the next runnable job (EDF or FIFO order).
+  std::optional<Job> next_job();
+  bool has_jobs() { return !queue_.empty(); }
+  std::size_t queued_jobs() const { return queue_.raw_size(); }
+
+  /// Executes a dispatch job (Table 3, Dispatch row): marks Dispatched,
+  /// requests a Backup prune if the copy was already replicated, and
+  /// cancels the pending replicate job otherwise.  Coordination steps are
+  /// skipped when the configuration disables them (FCFS-).
+  DispatchEffect execute_dispatch(const Job& job);
+
+  /// Executes a replicate job (Table 3, Replicate row): aborts if the copy
+  /// was already dispatched (coordination on), else marks Replicated and
+  /// returns the replica to send.
+  ReplicateEffect execute_replicate(const Job& job);
+
+  /// Backup reintegration: when a fresh Backup (re)joins, it must receive a
+  /// copy of every not-yet-dispatched message of the replicating topics so
+  /// that loss tolerance holds across a subsequent Primary crash.  Returns
+  /// that sync set and marks the entries Replicated (their later dispatch
+  /// will prune the new Backup as usual).
+  std::vector<Message> backup_sync_set();
+
+  // -- statistics ---------------------------------------------------------
+  struct Stats {
+    std::uint64_t arrivals = 0;
+    std::uint64_t recovery_arrivals = 0;
+    std::uint64_t dispatch_jobs_created = 0;
+    std::uint64_t replicate_jobs_created = 0;
+    std::uint64_t dispatches_executed = 0;
+    std::uint64_t replications_executed = 0;
+    std::uint64_t replications_aborted = 0;  ///< Table 3 Replicate step 1
+    std::uint64_t replicate_jobs_cancelled = 0;
+    std::uint64_t prune_requests = 0;
+    std::uint64_t stale_jobs = 0;  ///< copy evicted before the job ran
+    std::uint64_t overwritten_undelivered = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void generate_jobs(const Message& msg, TimePoint now, JobSource source,
+                     bool allow_replication);
+
+  BrokerConfig config_;
+  std::vector<TopicSpec> specs_;
+  TimingParams params_;
+  std::vector<TopicTiming> timings_;
+  std::vector<std::vector<NodeId>> subscribers_;  // per topic
+  MessageStore store_;
+  JobQueue queue_;
+  std::uint64_t next_order_ = 0;
+  Stats stats_;
+};
+
+}  // namespace frame

@@ -1,0 +1,43 @@
+#include "broker/publisher_engine.hpp"
+
+namespace frame {
+
+PublisherEngine::PublisherEngine(NodeId id, std::vector<TopicSpec> topics,
+                                 Duration period, std::size_t payload_size)
+    : id_(id),
+      topics_(std::move(topics)),
+      period_(period),
+      payload_size_(payload_size),
+      next_seq_(topics_.size(), 1) {
+  for (const auto& spec : topics_) {
+    retention_.add_topic(spec.id, spec.retention);
+  }
+}
+
+std::vector<Message> PublisherEngine::create_batch(TimePoint now) {
+  std::vector<Message> batch;
+  batch.reserve(topics_.size());
+  for (std::size_t i = 0; i < topics_.size(); ++i) {
+    Message msg =
+        make_test_message(topics_[i].id, next_seq_[i]++, now, payload_size_);
+    retention_.retain(msg);
+    batch.push_back(msg);
+    ++messages_created_;
+  }
+  return batch;
+}
+
+std::vector<Message> PublisherEngine::failover_resend() const {
+  std::vector<Message> out = retention_.all_retained();
+  for (auto& msg : out) msg.recovered = true;
+  return out;
+}
+
+SeqNo PublisherEngine::last_seq(TopicId topic) const {
+  for (std::size_t i = 0; i < topics_.size(); ++i) {
+    if (topics_[i].id == topic) return next_seq_[i] - 1;
+  }
+  return 0;
+}
+
+}  // namespace frame

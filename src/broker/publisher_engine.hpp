@@ -1,0 +1,54 @@
+// Publisher proxy: creates message batches, retains the Ni latest messages
+// per topic, and re-sends the retained set to the Backup after failover
+// (paper Sections III-A/B).
+//
+// A publisher in the evaluation is a proxy for a collection of IIoT
+// devices: all its topics share one period and each batch tick creates one
+// message per topic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/retention_buffer.hpp"
+#include "core/topic.hpp"
+#include "net/message.hpp"
+
+namespace frame {
+
+class PublisherEngine {
+ public:
+  /// `topics` is this proxy's topic set; they should share `period`.
+  PublisherEngine(NodeId id, std::vector<TopicSpec> topics, Duration period,
+                  std::size_t payload_size = 16);
+
+  NodeId id() const { return id_; }
+  Duration period() const { return period_; }
+  const std::vector<TopicSpec>& topics() const { return topics_; }
+
+  /// One batch tick: creates one message per topic (tc = now), retaining
+  /// each per its topic's Ni.
+  std::vector<Message> create_batch(TimePoint now);
+
+  /// Failover (Section III-B): once the publisher has detected the Primary
+  /// crash (its fail-over time x after the crash), it sends all retained
+  /// messages to the Backup.  Copies are flagged `recovered`.
+  std::vector<Message> failover_resend() const;
+
+  /// Last sequence number created per topic (0 = none yet); ground truth
+  /// for loss accounting.
+  SeqNo last_seq(TopicId topic) const;
+
+  std::uint64_t messages_created() const { return messages_created_; }
+
+ private:
+  NodeId id_;
+  std::vector<TopicSpec> topics_;
+  Duration period_;
+  std::size_t payload_size_;
+  std::vector<SeqNo> next_seq_;  // parallel to topics_
+  RetentionBuffer retention_;
+  std::uint64_t messages_created_ = 0;
+};
+
+}  // namespace frame

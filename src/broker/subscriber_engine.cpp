@@ -1,0 +1,127 @@
+#include "broker/subscriber_engine.hpp"
+
+namespace frame {
+
+namespace {
+const std::vector<TraceSample> kEmptyTrace;
+const OnlineStats kEmptyStats;
+}
+
+void SubscriberEngine::add_topic(const TopicSpec& spec) {
+  TopicState state;
+  state.spec = spec;
+  states_.emplace(spec.id, std::move(state));
+}
+
+void SubscriberEngine::watch(TopicId topic) {
+  auto it = states_.find(topic);
+  if (it != states_.end()) it->second.watched = true;
+}
+
+void SubscriberEngine::set_measure_window(TimePoint start, TimePoint end) {
+  window_start_ = start;
+  window_end_ = end;
+}
+
+bool SubscriberEngine::test_and_set(std::vector<std::uint64_t>& bitmap,
+                                    SeqNo seq) {
+  const std::size_t word = static_cast<std::size_t>(seq / 64);
+  const std::uint64_t bit = 1ull << (seq % 64);
+  if (word >= bitmap.size()) bitmap.resize(word + 1, 0);
+  const bool was_set = (bitmap[word] & bit) != 0;
+  bitmap[word] |= bit;
+  return !was_set;
+}
+
+bool SubscriberEngine::test(const std::vector<std::uint64_t>& bitmap,
+                            SeqNo seq) {
+  const std::size_t word = static_cast<std::size_t>(seq / 64);
+  if (word >= bitmap.size()) return false;
+  return (bitmap[word] & (1ull << (seq % 64))) != 0;
+}
+
+bool SubscriberEngine::on_deliver(const Message& msg, TimePoint now) {
+  auto it = states_.find(msg.topic);
+  if (it == states_.end()) return false;
+  TopicState& state = it->second;
+  if (!test_and_set(state.seen, msg.seq)) {
+    ++state.duplicates;
+    ++total_duplicates_;
+    return false;
+  }
+  ++state.unique;
+  ++total_unique_;
+  const Duration latency = now - msg.created_at;
+  if (msg.created_at >= window_start_ && msg.created_at < window_end_) {
+    ++state.delivered_in_window;
+    if (latency <= state.spec.deadline) ++state.on_time_in_window;
+    state.latency.add(static_cast<double>(latency));
+  }
+  if (state.watched) {
+    const Duration delta_bs =
+        msg.dispatched_at > 0 ? now - msg.dispatched_at : 0;
+    state.trace.push_back(TraceSample{msg.seq, msg.created_at, latency,
+                                      delta_bs, msg.recovered});
+  }
+  return true;
+}
+
+bool SubscriberEngine::delivered(TopicId topic, SeqNo seq) const {
+  auto it = states_.find(topic);
+  if (it == states_.end()) return false;
+  return test(it->second.seen, seq);
+}
+
+std::uint64_t SubscriberEngine::unique_count(TopicId topic) const {
+  auto it = states_.find(topic);
+  return it == states_.end() ? 0 : it->second.unique;
+}
+
+std::uint64_t SubscriberEngine::duplicate_count(TopicId topic) const {
+  auto it = states_.find(topic);
+  return it == states_.end() ? 0 : it->second.duplicates;
+}
+
+std::uint64_t SubscriberEngine::delivered_in_window(TopicId topic) const {
+  auto it = states_.find(topic);
+  return it == states_.end() ? 0 : it->second.delivered_in_window;
+}
+
+std::uint64_t SubscriberEngine::on_time_in_window(TopicId topic) const {
+  auto it = states_.find(topic);
+  return it == states_.end() ? 0 : it->second.on_time_in_window;
+}
+
+LossStats SubscriberEngine::loss_stats(TopicId topic, SeqNo first,
+                                       SeqNo last) const {
+  LossStats stats;
+  if (last < first) return stats;
+  stats.expected = last - first + 1;
+  auto it = states_.find(topic);
+  std::uint64_t run = 0;
+  for (SeqNo seq = first; seq <= last; ++seq) {
+    const bool got = it != states_.end() && test(it->second.seen, seq);
+    if (got) {
+      run = 0;
+    } else {
+      ++run;
+      ++stats.total_losses;
+      if (run > stats.max_consecutive_losses) {
+        stats.max_consecutive_losses = run;
+      }
+    }
+  }
+  return stats;
+}
+
+const OnlineStats& SubscriberEngine::latency_stats(TopicId topic) const {
+  auto it = states_.find(topic);
+  return it == states_.end() ? kEmptyStats : it->second.latency;
+}
+
+const std::vector<TraceSample>& SubscriberEngine::trace(TopicId topic) const {
+  auto it = states_.find(topic);
+  return it == states_.end() ? kEmptyTrace : it->second.trace;
+}
+
+}  // namespace frame

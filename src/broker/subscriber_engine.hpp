@@ -1,0 +1,96 @@
+// Subscriber-side accounting: duplicate suppression (recovered copies can
+// arrive twice) plus the measurements the paper's evaluation reports —
+// loss runs against the Li requirement, deadline success against Di, and
+// per-message latency traces (Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/topic.hpp"
+#include "net/message.hpp"
+
+namespace frame {
+
+/// One record of a unique (first-copy) delivery for a watched topic.
+struct TraceSample {
+  SeqNo seq = 0;
+  TimePoint created_at = 0;
+  Duration latency = 0;   ///< ts - tc (end to end)
+  Duration delta_bs = 0;  ///< ts - td, the run-time ΔBS of Fig. 8
+  bool recovered = false; ///< delivered via retention resend / recovery
+};
+
+/// Loss accounting over a ground-truth sequence range.
+struct LossStats {
+  std::uint64_t max_consecutive_losses = 0;
+  std::uint64_t total_losses = 0;
+  std::uint64_t expected = 0;
+};
+
+class SubscriberEngine {
+ public:
+  explicit SubscriberEngine(NodeId id) : id_(id) {}
+
+  NodeId id() const { return id_; }
+
+  void add_topic(const TopicSpec& spec);
+
+  /// Enables per-message trace recording for `topic` (Fig. 9 plots).
+  void watch(TopicId topic);
+
+  /// Deadline success is counted only for messages *created* inside this
+  /// window (the paper's 60-second measuring phase).
+  void set_measure_window(TimePoint start, TimePoint end);
+
+  /// Processes a delivery at time `now` (= ts).  Returns true if this was
+  /// the first copy of the message; duplicates are discarded (Section VI-C).
+  bool on_deliver(const Message& msg, TimePoint now);
+
+  bool subscribed(TopicId topic) const { return states_.contains(topic); }
+  bool delivered(TopicId topic, SeqNo seq) const;
+
+  std::uint64_t unique_count(TopicId topic) const;
+  std::uint64_t duplicate_count(TopicId topic) const;
+  std::uint64_t delivered_in_window(TopicId topic) const;
+  std::uint64_t on_time_in_window(TopicId topic) const;
+
+  /// Streaming latency statistics (ns) over in-window deliveries.
+  const OnlineStats& latency_stats(TopicId topic) const;
+
+  /// Loss stats for seqs in [first, last] (ground truth from the
+  /// publisher).  Sequence numbers never created must not be passed.
+  LossStats loss_stats(TopicId topic, SeqNo first, SeqNo last) const;
+
+  const std::vector<TraceSample>& trace(TopicId topic) const;
+
+  std::uint64_t total_unique() const { return total_unique_; }
+  std::uint64_t total_duplicates() const { return total_duplicates_; }
+
+ private:
+  struct TopicState {
+    TopicSpec spec;
+    std::vector<std::uint64_t> seen;  ///< bitmap indexed by seq
+    std::uint64_t unique = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t delivered_in_window = 0;
+    std::uint64_t on_time_in_window = 0;
+    OnlineStats latency;  ///< in-window latencies, ns
+    bool watched = false;
+    std::vector<TraceSample> trace;
+  };
+
+  static bool test_and_set(std::vector<std::uint64_t>& bitmap, SeqNo seq);
+  static bool test(const std::vector<std::uint64_t>& bitmap, SeqNo seq);
+
+  NodeId id_;
+  std::unordered_map<TopicId, TopicState> states_;
+  TimePoint window_start_ = 0;
+  TimePoint window_end_ = kTimeNever;
+  std::uint64_t total_unique_ = 0;
+  std::uint64_t total_duplicates_ = 0;
+};
+
+}  // namespace frame

@@ -1,0 +1,103 @@
+// Blocking bounded MPMC queue used by the real-thread runtime to hand work
+// between the proxy thread, the delivery pool, and publisher threads.
+//
+// A mutex + condition-variable queue is deliberately chosen over a lock-free
+// design: runtime throughput targets are modest (the performance study runs
+// in the deterministic simulator), and the CV queue has simple, verifiable
+// shutdown semantics.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/time.hpp"
+
+namespace frame {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks until space is available or the queue is closed.
+  /// Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; fails when full or closed.
+  bool try_push(T value) {
+    std::lock_guard lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Waits up to `timeout` for an item.
+  std::optional<T> pop_for(Duration timeout) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout),
+                        [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain remaining items.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace frame

@@ -1,0 +1,63 @@
+// Minimal leveled logger.
+//
+// The simulator runs millions of events per second, so logging must be
+// cheap when disabled: level checks are a single relaxed atomic load and
+// message formatting is deferred behind the check.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace frame {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace detail {
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+}
+
+inline void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+inline std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "     ";
+  }
+}
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+  if (!log_enabled(level)) return;
+  std::fprintf(stderr, "[%.*s] ", 5, level_tag(level).data());
+  std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+  std::fputc('\n', stderr);
+}
+
+inline void log(LogLevel level, const char* msg) {
+  if (!log_enabled(level)) return;
+  std::fprintf(stderr, "[%.*s] %s\n", 5, level_tag(level).data(), msg);
+}
+
+#define FRAME_LOG_DEBUG(...) ::frame::log(::frame::LogLevel::kDebug, __VA_ARGS__)
+#define FRAME_LOG_INFO(...) ::frame::log(::frame::LogLevel::kInfo, __VA_ARGS__)
+#define FRAME_LOG_WARN(...) ::frame::log(::frame::LogLevel::kWarn, __VA_ARGS__)
+#define FRAME_LOG_ERROR(...) ::frame::log(::frame::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace frame

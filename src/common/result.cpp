@@ -1,0 +1,36 @@
+#include "common/result.hpp"
+
+namespace frame {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kRejected:
+      return "rejected";
+    case StatusCode::kCapacity:
+      return "capacity";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kInvalid:
+      return "invalid";
+    case StatusCode::kClosed:
+      return "closed";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out{frame::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace frame

@@ -1,0 +1,80 @@
+// Lightweight status/error reporting for hot paths and module boundaries.
+//
+// Per the C++ Core Guidelines (E.*), exceptions are reserved for truly
+// exceptional conditions; the messaging hot path and the transports report
+// expected failures (full buffers, closed connections, rejected admission)
+// through Status / Result values instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace frame {
+
+enum class StatusCode {
+  kOk = 0,
+  kRejected,       // admission test failed
+  kCapacity,       // buffer or queue full
+  kNotFound,       // unknown topic / connection / entry
+  kInvalid,        // malformed input (bad frame, bad config)
+  kClosed,         // endpoint no longer available (crashed / shut down)
+  kUnavailable,    // transient: try again later
+  kInternal,       // invariant violation escaped into release build
+};
+
+std::string_view to_string(StatusCode code);
+
+/// A status with an optional human-readable detail message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message = {})
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-status.  Empty value implies a non-OK status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.is_ok() && "OK result must carry a value");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(value_.has_value());
+    return *value_;
+  }
+  const T& value() const {
+    assert(value_.has_value());
+    return *value_;
+  }
+  T&& take() {
+    assert(value_.has_value());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace frame

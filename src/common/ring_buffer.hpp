@@ -1,0 +1,102 @@
+// Fixed-capacity ring buffer.
+//
+// The paper implements the Message Buffer, Backup Buffer and Retention
+// Buffer as ring buffers (Section V).  This is a single-threaded ring: the
+// broker engines are single-threaded state machines, and the runtime wraps
+// them behind explicit queues, so no internal synchronisation is needed.
+//
+// Overwrite semantics: push_back() on a full ring evicts the oldest entry
+// and reports the eviction, matching a retention buffer that keeps only the
+// latest Ni messages.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace frame {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Creates a ring holding at most `capacity` items.  A zero capacity is
+  /// legal and models a publisher with no retention (Ni = 0): every push
+  /// immediately "evicts" the pushed element.
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity), capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  /// Appends `value`.  Returns the evicted oldest element if the ring was
+  /// full (or the value itself when capacity is zero).
+  std::optional<T> push_back(T value) {
+    if (capacity_ == 0) return std::optional<T>(std::move(value));
+    std::optional<T> evicted;
+    if (size_ == capacity_) {
+      evicted.emplace(std::move(slots_[head_]));
+      head_ = next(head_);
+      --size_;
+    }
+    slots_[tail_] = std::move(value);
+    tail_ = next(tail_);
+    ++size_;
+    return evicted;
+  }
+
+  /// Removes and returns the oldest element; empty rings return nullopt.
+  std::optional<T> pop_front() {
+    if (size_ == 0) return std::nullopt;
+    std::optional<T> out(std::move(slots_[head_]));
+    head_ = next(head_);
+    --size_;
+    return out;
+  }
+
+  /// Oldest element (index 0) through newest (index size()-1).
+  T& at(std::size_t index) {
+    assert(index < size_);
+    return slots_[(head_ + index) % slots_.size()];
+  }
+  const T& at(std::size_t index) const {
+    assert(index < size_);
+    return slots_[(head_ + index) % slots_.size()];
+  }
+
+  T& front() { return at(0); }
+  const T& front() const { return at(0); }
+  T& back() { return at(size_ - 1); }
+  const T& back() const { return at(size_ - 1); }
+
+  void clear() {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+  /// Applies `fn` to every element, oldest first.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < size_; ++i) fn(at(i));
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) fn(at(i));
+  }
+
+ private:
+  std::size_t next(std::size_t i) const {
+    return (i + 1) % slots_.size();
+  }
+
+  std::vector<T> slots_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace frame

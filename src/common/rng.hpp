@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for the simulator and the
+// workload generators.  Experiments are reproducible given a seed; the
+// confidence intervals reported by the benches come from varying the seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace frame {
+
+/// SplitMix64, used to expand a single seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator: small, fast, and statistically strong enough for
+/// latency jitter and workload phasing.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9d4ee7a3c0ffee01ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return next_u64() % bound;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and fine for
+  /// latency jitter volumes).
+  double normal(double mean, double stddev) {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// Exponential with the given mean.
+  double exponential(double mean) {
+    double u = next_double();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace frame

@@ -1,0 +1,26 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace frame {
+
+std::string format_duration(Duration d) {
+  char buf[48];
+  const double abs = std::abs(static_cast<double>(d));
+  if (d == kDurationInfinite) {
+    return "inf";
+  }
+  if (abs >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(d) / 1e9);
+  } else if (abs >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(d) / 1e6);
+  } else if (abs >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(d) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace frame

@@ -1,0 +1,71 @@
+// Time representation shared by the simulator and the real-thread runtime.
+//
+// Both harnesses express time as a signed 64-bit count of nanoseconds since
+// an arbitrary origin (simulation start / runtime start).  Using one scalar
+// type keeps the broker engines clock-agnostic: the simulator hands them
+// virtual timestamps, the runtime hands them steady_clock readings rebased
+// to its start.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace frame {
+
+/// Nanoseconds since the origin of the driving clock.
+using TimePoint = std::int64_t;
+
+/// A span of time in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr TimePoint kTimeZero = 0;
+inline constexpr Duration kDurationInfinite =
+    std::numeric_limits<Duration>::max();
+inline constexpr TimePoint kTimeNever =
+    std::numeric_limits<TimePoint>::max();
+
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(std::int64_t us) { return us * 1'000; }
+constexpr Duration milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr Duration seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Fractional-millisecond durations (the paper quotes e.g. ΔBB = 0.05 ms).
+constexpr Duration milliseconds_f(double ms) {
+  return static_cast<Duration>(ms * 1e6);
+}
+constexpr Duration microseconds_f(double us) {
+  return static_cast<Duration>(us * 1e3);
+}
+
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e9; }
+constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_micros(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/// Saturating addition: adding anything to "never"/"infinite" stays there.
+constexpr TimePoint time_add(TimePoint t, Duration d) {
+  if (t == kTimeNever || d == kDurationInfinite) return kTimeNever;
+  return t + d;
+}
+
+/// Formats a duration as a human-readable string ("12.5ms", "3.2s", ...).
+std::string format_duration(Duration d);
+
+/// Monotonic wall clock used by the real-thread runtime, rebased so that the
+/// first reading in a process is near zero.
+class MonotonicClock {
+ public:
+  MonotonicClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  TimePoint now() const {
+    const auto elapsed = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace frame

@@ -1,0 +1,22 @@
+// Fundamental identifier types used across the FRAME libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace frame {
+
+/// Identifies a message topic.  The paper uses "message" and "topic"
+/// interchangeably; a topic is the unit of QoS specification.
+using TopicId = std::uint32_t;
+
+/// Per-topic monotonically increasing message sequence number, starting at 1.
+/// Subscribers use it for duplicate suppression and loss-run accounting.
+using SeqNo = std::uint64_t;
+
+/// Identifies a host/actor in a deployment (publisher, broker, subscriber).
+using NodeId = std::uint32_t;
+
+inline constexpr TopicId kInvalidTopic = 0xffffffffu;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+}  // namespace frame

@@ -1,0 +1,55 @@
+#include "core/backup_store.hpp"
+
+namespace frame {
+
+void BackupStore::configure(std::size_t topic_count) {
+  rings_.clear();
+  rings_.reserve(topic_count);
+  for (std::size_t i = 0; i < topic_count; ++i) {
+    rings_.emplace_back(capacity_);
+  }
+}
+
+void BackupStore::insert(const Message& msg, TimePoint replica_arrival) {
+  if (msg.topic >= rings_.size()) return;
+  rings_[msg.topic].push_back(BackupEntry{msg, false, replica_arrival});
+}
+
+bool BackupStore::prune(TopicId topic, SeqNo seq) {
+  if (topic >= rings_.size()) return false;
+  auto& ring = rings_[topic];
+  for (std::size_t i = ring.size(); i-- > 0;) {
+    if (ring.at(i).msg.seq == seq) {
+      ring.at(i).discard = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t BackupStore::live_count() const {
+  std::size_t total = 0;
+  for_each_live([&](const BackupEntry&) { ++total; });
+  return total;
+}
+
+std::size_t BackupStore::size() const {
+  std::size_t total = 0;
+  for (const auto& ring : rings_) total += ring.size();
+  return total;
+}
+
+std::size_t BackupStore::live_count(TopicId topic) const {
+  if (topic >= rings_.size()) return 0;
+  std::size_t total = 0;
+  rings_[topic].for_each([&](const BackupEntry& entry) {
+    if (!entry.discard) ++total;
+  });
+  return total;
+}
+
+void BackupStore::clear() {
+  for (auto& ring : rings_) ring.clear();
+}
+
+}  // namespace frame

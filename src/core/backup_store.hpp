@@ -1,0 +1,76 @@
+// The Backup Buffer (Sections IV-B, VI-C).
+//
+// Per-topic ring buffers of replicas held by the Backup broker.  Each entry
+// carries the Discard flag of Table 3; the Primary sets it (via a prune
+// request) once the original copy has been dispatched.  On promotion, the
+// recovery pass dispatches only entries whose Discard flag is still false —
+// this pruning is what decouples the recovery latency penalty from the
+// buffer size (Section VI-C).
+//
+// The paper's evaluation sizes this ring at ten entries per topic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "core/topic.hpp"
+#include "net/message.hpp"
+
+namespace frame {
+
+struct BackupEntry {
+  Message msg;
+  bool discard = false;
+  TimePoint replica_arrival = 0;  ///< tb: when the Backup received the copy
+};
+
+class BackupStore {
+ public:
+  inline static constexpr std::size_t kDefaultPerTopicCapacity = 10;
+
+  explicit BackupStore(
+      std::size_t per_topic_capacity = kDefaultPerTopicCapacity)
+      : capacity_(per_topic_capacity) {}
+
+  void configure(std::size_t topic_count);
+
+  std::size_t topic_count() const { return rings_.size(); }
+
+  /// Stores a replica; evicts the oldest entry when the topic ring is full.
+  void insert(const Message& msg, TimePoint replica_arrival);
+
+  /// Prune request from the Primary: mark (topic, seq) Discard.  A prune
+  /// for a copy that never arrived (or was evicted) records a pending
+  /// prune no-op; returns whether an entry was marked.
+  bool prune(TopicId topic, SeqNo seq);
+
+  /// Visits entries that survived pruning (Discard == false), oldest first
+  /// per topic, in ascending topic order.  Used by the recovery planner.
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (const auto& ring : rings_) {
+      ring.for_each([&](const BackupEntry& entry) {
+        if (!entry.discard) fn(entry);
+      });
+    }
+  }
+
+  /// Total live (non-discarded) entries.
+  std::size_t live_count() const;
+
+  /// Total entries including discarded ones.
+  std::size_t size() const;
+
+  /// Entries per topic still live; for tests.
+  std::size_t live_count(TopicId topic) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<RingBuffer<BackupEntry>> rings_;
+};
+
+}  // namespace frame

@@ -1,0 +1,95 @@
+#include "core/capacity.hpp"
+
+#include <algorithm>
+
+namespace frame {
+
+double topic_utilization(const TopicSpec& spec, const TimingParams& params,
+                         const DeliveryCostModel& costs, bool selective) {
+  if (spec.period <= 0) return 0.0;
+  const double rate = 1e9 / static_cast<double>(spec.period);
+  const bool replicate =
+      selective ? needs_replication(spec, params) : !spec.best_effort();
+  double per_message = static_cast<double>(costs.dispatch);
+  if (replicate) {
+    per_message += static_cast<double>(costs.replicate) +
+                   static_cast<double>(costs.coordination);
+  }
+  return rate * per_message / 1e9;  // core-seconds per second
+}
+
+CapacityReport analyze_capacity(const std::vector<TopicSpec>& specs,
+                                const TimingParams& params,
+                                const DeliveryCostModel& costs,
+                                bool selective) {
+  CapacityReport report;
+  double replicated_rate = 0.0;
+  double load = 0.0;
+  for (const auto& spec : specs) {
+    if (spec.period <= 0) continue;
+    const double rate = 1e9 / static_cast<double>(spec.period);
+    report.message_rate += rate;
+    load += topic_utilization(spec, params, costs, selective);
+    const bool replicate =
+        selective ? needs_replication(spec, params) : !spec.best_effort();
+    if (replicate) {
+      ++report.replicated_topics;
+      replicated_rate += rate;
+    }
+  }
+  report.utilization = load / static_cast<double>(costs.delivery_cores);
+  report.replicated_share =
+      report.message_rate > 0 ? replicated_rate / report.message_rate : 0.0;
+  report.schedulable = report.utilization <= 1.0;
+  return report;
+}
+
+Status AdmissionController::admit(const TopicSpec& spec) {
+  for (const auto& existing : admitted_) {
+    if (existing.id == spec.id) {
+      return Status(StatusCode::kInvalid, "topic id already admitted");
+    }
+  }
+  const Status timing = admission_test(spec, params_);
+  if (!timing.is_ok()) return timing;
+  const double extra = topic_utilization(spec, params_, costs_, selective_) /
+                       static_cast<double>(costs_.delivery_cores);
+  if (utilization_ + extra > 1.0) {
+    return Status(StatusCode::kRejected,
+                  "delivery capacity exhausted: utilization would exceed 1");
+  }
+  utilization_ += extra;
+  admitted_.push_back(spec);
+  return Status::ok();
+}
+
+Status AdmissionController::release(TopicId topic) {
+  const auto it =
+      std::find_if(admitted_.begin(), admitted_.end(),
+                   [&](const TopicSpec& spec) { return spec.id == topic; });
+  if (it == admitted_.end()) {
+    return Status(StatusCode::kNotFound, "topic not admitted");
+  }
+  utilization_ -= topic_utilization(*it, params_, costs_, selective_) /
+                  static_cast<double>(costs_.delivery_cores);
+  if (utilization_ < 0.0) utilization_ = 0.0;
+  admitted_.erase(it);
+  return Status::ok();
+}
+
+std::size_t AdmissionController::headroom(
+    const std::vector<TopicSpec>& unit) const {
+  double unit_load = 0.0;
+  for (const auto& spec : unit) {
+    const Status timing = admission_test(spec, params_);
+    if (!timing.is_ok()) return 0;
+    unit_load += topic_utilization(spec, params_, costs_, selective_) /
+                 static_cast<double>(costs_.delivery_cores);
+  }
+  if (unit_load <= 0.0) return 0;
+  const double slack = 1.0 - utilization_;
+  if (slack <= 0.0) return 0;
+  return static_cast<std::size_t>(slack / unit_load);
+}
+
+}  // namespace frame

@@ -1,0 +1,83 @@
+// Capacity planning: utilisation-based schedulability analysis for the
+// Message Delivery module.
+//
+// The paper's evaluation (Section VI) shows each configuration has a topic
+// count beyond which the delivery module saturates and requirements start
+// failing.  This module turns that observation into an a-priori analysis: a
+// per-job cost model plus the per-topic replication decision yields the
+// offered delivery utilisation, an EDF schedulability verdict (utilisation
+// <= 1 on the delivery cores is sufficient for EDF with independent jobs),
+// and the maximum Table-2-style workload a configuration can admit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/timing.hpp"
+#include "core/topic.hpp"
+
+namespace frame {
+
+/// Per-job CPU costs of the delivery module (same quantities the simulator
+/// charges; see sim::CostModel for the calibrated defaults).
+struct DeliveryCostModel {
+  Duration dispatch = microseconds_f(2.25);
+  Duration replicate = microseconds(7);
+  Duration coordination = microseconds(31);
+  int delivery_cores = 2;
+};
+
+/// Offered load of one topic on the delivery module, in core-seconds per
+/// second (i.e. utilisation of a single core).
+double topic_utilization(const TopicSpec& spec, const TimingParams& params,
+                         const DeliveryCostModel& costs, bool selective);
+
+/// Aggregate analysis of a topic set under a configuration.
+struct CapacityReport {
+  double utilization = 0.0;        ///< offered load / total core capacity
+  double replicated_share = 0.0;   ///< fraction of messages replicated
+  double message_rate = 0.0;       ///< messages per second
+  bool schedulable = false;        ///< utilisation <= 1 (EDF sufficient test)
+  std::size_t replicated_topics = 0;
+};
+
+CapacityReport analyze_capacity(const std::vector<TopicSpec>& specs,
+                                const TimingParams& params,
+                                const DeliveryCostModel& costs,
+                                bool selective);
+
+/// Admission controller: tracks admitted topics, enforcing both the
+/// per-topic timing admission test (Lemmas 1-2) and the aggregate
+/// delivery-capacity bound.  This is the "admission test" of Section
+/// III-D.1 promoted to a stateful front door.
+class AdmissionController {
+ public:
+  AdmissionController(TimingParams params, DeliveryCostModel costs,
+                      bool selective)
+      : params_(params), costs_(costs), selective_(selective) {}
+
+  /// Attempts to admit `spec`; on success the topic counts against the
+  /// capacity budget.  Fails with kRejected and a reason otherwise.
+  Status admit(const TopicSpec& spec);
+
+  /// Removes a previously admitted topic, releasing its budget.
+  Status release(TopicId topic);
+
+  double utilization() const { return utilization_; }
+  std::size_t admitted_count() const { return admitted_.size(); }
+  const std::vector<TopicSpec>& admitted() const { return admitted_; }
+
+  /// The largest multiple of `unit` (a template of topics, e.g. one of
+  /// each Table-2 bulk category) that still fits next to the already
+  /// admitted set.  Useful for "how many more sensors can this edge take".
+  std::size_t headroom(const std::vector<TopicSpec>& unit) const;
+
+ private:
+  TimingParams params_;
+  DeliveryCostModel costs_;
+  bool selective_;
+  std::vector<TopicSpec> admitted_;
+  double utilization_ = 0.0;
+};
+
+}  // namespace frame

@@ -1,0 +1,246 @@
+#include "core/config_file.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace frame {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string_view strip_comment(std::string_view line) {
+  const std::size_t pos = line.find_first_of("#;");
+  if (pos != std::string_view::npos) line = line.substr(0, pos);
+  return trim(line);
+}
+
+bool parse_double(std::string_view value, double& out) {
+  try {
+    std::size_t consumed = 0;
+    const std::string text(value);
+    out = std::stod(text, &consumed);
+    return consumed == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+Status error_at(int line, const std::string& message) {
+  return Status(StatusCode::kInvalid,
+                "line " + std::to_string(line) + ": " + message);
+}
+
+/// Topic section under construction; flushed on section change / EOF.
+struct PendingTopic {
+  double period_ms = -1;
+  double deadline_ms = -1;
+  std::uint32_t loss_tolerance = 0;
+  bool loss_set = false;
+  std::uint32_t retention = 0;
+  Destination destination = Destination::kEdge;
+  std::size_t count = 1;
+  int start_line = 0;
+};
+
+Status flush_topic(const PendingTopic& pending, TopicId& next_id,
+                   std::vector<TopicSpec>& topics, std::vector<int>& groups,
+                   int group) {
+  if (pending.period_ms <= 0) {
+    return error_at(pending.start_line, "topic needs a positive period_ms");
+  }
+  if (pending.deadline_ms <= 0) {
+    return error_at(pending.start_line, "topic needs a positive deadline_ms");
+  }
+  if (!pending.loss_set) {
+    return error_at(pending.start_line, "topic needs loss_tolerance");
+  }
+  for (std::size_t i = 0; i < pending.count; ++i) {
+    TopicSpec spec;
+    spec.id = next_id++;
+    spec.period = milliseconds_f(pending.period_ms);
+    spec.deadline = milliseconds_f(pending.deadline_ms);
+    spec.loss_tolerance = pending.loss_tolerance;
+    spec.retention = pending.retention;
+    spec.destination = pending.destination;
+    topics.push_back(spec);
+    groups.push_back(group);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<DeploymentConfig> parse_deployment_config(std::string_view text) {
+  DeploymentConfig config;
+  enum class Section { kNone, kTiming, kTopic };
+  Section section = Section::kNone;
+  PendingTopic pending;
+  bool topic_open = false;
+  TopicId next_id = 0;
+  int group = 0;
+
+  int line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    std::string_view raw =
+        end == std::string_view::npos
+            ? text.substr(start)
+            : text.substr(start, end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+
+    const std::string_view line = strip_comment(raw);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') return error_at(line_no, "unterminated section");
+      const std::string_view name = trim(line.substr(1, line.size() - 2));
+      if (topic_open) {
+        const Status flushed = flush_topic(pending, next_id, config.topics,
+                                           config.groups, group++);
+        if (!flushed.is_ok()) return flushed;
+        topic_open = false;
+      }
+      if (name == "timing") {
+        section = Section::kTiming;
+      } else if (name == "topic") {
+        section = Section::kTopic;
+        pending = PendingTopic{};
+        pending.start_line = line_no;
+        topic_open = true;
+      } else {
+        return error_at(line_no, "unknown section [" + std::string(name) +
+                                     "]");
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return error_at(line_no, "expected key = value");
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    double number = 0;
+
+    if (section == Section::kTiming) {
+      if (!parse_double(value, number)) {
+        return error_at(line_no, "bad number: " + std::string(value));
+      }
+      if (key == "delta_pb_ms") {
+        config.timing.delta_pb = milliseconds_f(number);
+      } else if (key == "delta_bs_edge_ms") {
+        config.timing.delta_bs_edge = milliseconds_f(number);
+      } else if (key == "delta_bs_cloud_ms") {
+        config.timing.delta_bs_cloud = milliseconds_f(number);
+      } else if (key == "delta_bb_ms") {
+        config.timing.delta_bb = milliseconds_f(number);
+      } else if (key == "failover_x_ms") {
+        config.timing.failover_x = milliseconds_f(number);
+      } else {
+        return error_at(line_no, "unknown timing key: " + std::string(key));
+      }
+    } else if (section == Section::kTopic) {
+      if (key == "destination") {
+        if (value == "edge") {
+          pending.destination = Destination::kEdge;
+        } else if (value == "cloud") {
+          pending.destination = Destination::kCloud;
+        } else {
+          return error_at(line_no,
+                          "destination must be edge|cloud, got " +
+                              std::string(value));
+        }
+        continue;
+      }
+      if (key == "loss_tolerance" && value == "inf") {
+        pending.loss_tolerance = kLossInfinite;
+        pending.loss_set = true;
+        continue;
+      }
+      if (!parse_double(value, number)) {
+        return error_at(line_no, "bad number: " + std::string(value));
+      }
+      if (key == "period_ms") {
+        pending.period_ms = number;
+      } else if (key == "deadline_ms") {
+        pending.deadline_ms = number;
+      } else if (key == "loss_tolerance") {
+        if (number < 0) return error_at(line_no, "negative loss_tolerance");
+        pending.loss_tolerance = static_cast<std::uint32_t>(number);
+        pending.loss_set = true;
+      } else if (key == "retention") {
+        if (number < 0) return error_at(line_no, "negative retention");
+        pending.retention = static_cast<std::uint32_t>(number);
+      } else if (key == "count") {
+        if (number < 1) return error_at(line_no, "count must be >= 1");
+        pending.count = static_cast<std::size_t>(number);
+      } else {
+        return error_at(line_no, "unknown topic key: " + std::string(key));
+      }
+    } else {
+      return error_at(line_no, "key outside any section");
+    }
+  }
+
+  if (topic_open) {
+    const Status flushed = flush_topic(pending, next_id, config.topics,
+                                       config.groups, group);
+    if (!flushed.is_ok()) return flushed;
+  }
+  return config;
+}
+
+Result<DeploymentConfig> load_deployment_config(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status(StatusCode::kNotFound, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_deployment_config(buffer.str());
+}
+
+std::string format_deployment_config(const DeploymentConfig& config) {
+  std::ostringstream out;
+  char buf[64];
+  const auto ms = [&](Duration d) {
+    std::snprintf(buf, sizeof(buf), "%g", to_millis(d));
+    return std::string(buf);
+  };
+  out << "[timing]\n";
+  out << "delta_pb_ms = " << ms(config.timing.delta_pb) << "\n";
+  out << "delta_bs_edge_ms = " << ms(config.timing.delta_bs_edge) << "\n";
+  out << "delta_bs_cloud_ms = " << ms(config.timing.delta_bs_cloud) << "\n";
+  out << "delta_bb_ms = " << ms(config.timing.delta_bb) << "\n";
+  out << "failover_x_ms = " << ms(config.timing.failover_x) << "\n";
+  for (const auto& spec : config.topics) {
+    out << "\n[topic]\n";
+    out << "period_ms = " << ms(spec.period) << "\n";
+    out << "deadline_ms = " << ms(spec.deadline) << "\n";
+    if (spec.best_effort()) {
+      out << "loss_tolerance = inf\n";
+    } else {
+      out << "loss_tolerance = " << spec.loss_tolerance << "\n";
+    }
+    out << "retention = " << spec.retention << "\n";
+    out << "destination = "
+        << (spec.destination == Destination::kEdge ? "edge" : "cloud")
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace frame

@@ -1,0 +1,54 @@
+// Configuration file support.
+//
+// FRAME "takes an input configuration" at initialisation (Section IV-A):
+// per-topic Ni, Li, Ti and Di values plus the per-subscriber x and ΔBS.
+// This parser reads that configuration from a simple INI-like text format
+// so deployments can be described in files rather than code:
+//
+//   [timing]
+//   delta_pb_ms       = 1
+//   delta_bs_edge_ms  = 1
+//   delta_bs_cloud_ms = 20
+//   delta_bb_ms       = 0.05
+//   failover_x_ms     = 50
+//
+//   [topic]
+//   period_ms      = 50
+//   deadline_ms    = 50
+//   loss_tolerance = 0        ; or "inf" for best effort
+//   retention      = 2
+//   destination    = edge     ; or "cloud"
+//   count          = 10       ; expands to this many topics
+//
+// Topic ids are assigned densely in file order.  '#' and ';' start
+// comments.  Unknown keys are errors (catching typos beats ignoring them).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/topic.hpp"
+
+namespace frame {
+
+struct DeploymentConfig {
+  TimingParams timing;
+  std::vector<TopicSpec> topics;
+  /// Parallel to `topics`: ordinal of the [topic] section each topic came
+  /// from (a `count = N` section yields N topics sharing one group).
+  std::vector<int> groups;
+};
+
+/// Parses the text of a configuration file.  On error, the status message
+/// includes the offending line number.
+Result<DeploymentConfig> parse_deployment_config(std::string_view text);
+
+/// Reads and parses a configuration file from disk.
+Result<DeploymentConfig> load_deployment_config(const std::string& path);
+
+/// Renders a deployment back into the file format (round-trippable).
+std::string format_deployment_config(const DeploymentConfig& config);
+
+}  // namespace frame

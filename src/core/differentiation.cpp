@@ -1,0 +1,58 @@
+#include "core/differentiation.hpp"
+
+#include <algorithm>
+
+namespace frame {
+
+std::vector<DeadlineEntry> deadline_ordering(
+    const std::vector<TopicSpec>& specs, const TimingParams& params) {
+  std::vector<DeadlineEntry> entries;
+  entries.reserve(specs.size() * 2);
+  for (const auto& spec : specs) {
+    entries.push_back(DeadlineEntry{spec.id, JobKind::kDispatch,
+                                    dispatch_pseudo_deadline(spec, params)});
+    if (!spec.best_effort()) {
+      entries.push_back(
+          DeadlineEntry{spec.id, JobKind::kReplicate,
+                        replication_pseudo_deadline(spec, params)});
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const DeadlineEntry& a, const DeadlineEntry& b) {
+                     return a.pseudo_deadline < b.pseudo_deadline;
+                   });
+  return entries;
+}
+
+std::vector<TopicId> replication_set(const std::vector<TopicSpec>& specs,
+                                     const TimingParams& params) {
+  std::vector<TopicId> out;
+  for (const auto& spec : specs) {
+    if (needs_replication(spec, params)) out.push_back(spec.id);
+  }
+  return out;
+}
+
+std::vector<TopicSpec> with_extra_retention(
+    const std::vector<TopicSpec>& specs, const TimingParams& params,
+    std::uint32_t extra) {
+  std::vector<TopicSpec> out = specs;
+  for (auto& spec : out) {
+    if (needs_replication(spec, params)) spec.retention += extra;
+  }
+  return out;
+}
+
+std::vector<AdmissionFailure> admit_all(const std::vector<TopicSpec>& specs,
+                                        const TimingParams& params) {
+  std::vector<AdmissionFailure> failures;
+  for (const auto& spec : specs) {
+    const Status status = admission_test(spec, params);
+    if (!status.is_ok()) {
+      failures.push_back(AdmissionFailure{spec.id, status.to_string()});
+    }
+  }
+  return failures;
+}
+
+}  // namespace frame

@@ -1,0 +1,57 @@
+// Section III-D: applying the timing bounds to differentiate topics.
+//
+// These helpers reproduce the paper's five worked applications of
+// Lemmas 1-2 and Proposition 1: the admission test, the deadline ordering
+// across heterogeneous (Di, Li) topics, the effect of extra publisher
+// retention, Di != Ti cases, and edge- vs cloud-bound differentiation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/timing.hpp"
+#include "core/topic.hpp"
+
+namespace frame {
+
+/// One pseudo relative deadline in the global ordering: which topic, which
+/// activity (dispatch or replicate), and its value.
+struct DeadlineEntry {
+  TopicId topic = kInvalidTopic;
+  JobKind kind = JobKind::kDispatch;
+  Duration pseudo_deadline = 0;
+};
+
+/// Computes the pseudo relative deadlines of every dispatch activity and of
+/// every replication activity (for non-best-effort topics) and returns them
+/// sorted ascending — the precedence order EDF induces under equal ΔPB.
+/// Replication entries are included even for topics Proposition 1 would
+/// suppress, because the ordering itself (Section III-D.2) is computed
+/// before suppression is applied.
+std::vector<DeadlineEntry> deadline_ordering(
+    const std::vector<TopicSpec>& specs, const TimingParams& params);
+
+/// Topics whose replication survives Proposition 1 (i.e. must replicate).
+std::vector<TopicId> replication_set(const std::vector<TopicSpec>& specs,
+                                     const TimingParams& params);
+
+/// Returns a copy of `specs` with retention (Ni) increased by `extra` for
+/// every topic that would otherwise need replication — the paper's FRAME+
+/// transformation (Section III-D.3 / VI-A): a small retention increase that
+/// removes the need for replication entirely.
+std::vector<TopicSpec> with_extra_retention(
+    const std::vector<TopicSpec>& specs, const TimingParams& params,
+    std::uint32_t extra = 1);
+
+/// Runs the admission test over a topic set; returns per-topic failures
+/// (empty = all admitted).
+struct AdmissionFailure {
+  TopicId topic;
+  std::string reason;
+};
+std::vector<AdmissionFailure> admit_all(const std::vector<TopicSpec>& specs,
+                                        const TimingParams& params);
+
+}  // namespace frame

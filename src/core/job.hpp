@@ -1,0 +1,46 @@
+// Jobs created by the Message Proxy's Job Generator (Section IV-A).
+//
+// Each message arrival yields one dispatching job and, when the topic's
+// timing requires it, one replicating job.  During fault recovery the
+// promoted Backup creates dispatching jobs that reference its Backup Buffer
+// instead of the Message Buffer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace frame {
+
+enum class JobKind : std::uint8_t {
+  kDispatch = 0,
+  kReplicate = 1,
+};
+
+enum class JobSource : std::uint8_t {
+  kMessageBuffer = 0,  ///< normal operation
+  kBackupBuffer = 1,   ///< recovery dispatch on the promoted Backup
+};
+
+std::string_view to_string(JobKind kind);
+
+struct Job {
+  JobKind kind = JobKind::kDispatch;
+  JobSource source = JobSource::kMessageBuffer;
+  TopicId topic = kInvalidTopic;
+  SeqNo seq = 0;
+  TimePoint release = 0;   ///< tp: broker arrival of the referenced message
+  TimePoint deadline = 0;  ///< absolute deadline (tp + relative deadline)
+  std::uint64_t order = 0;  ///< arrival order: FIFO key and EDF tie-break
+};
+
+/// Compact key identifying the message a job refers to; used for
+/// cancellation of pending replications (dispatch-replicate coordination).
+constexpr std::uint64_t job_message_key(TopicId topic, SeqNo seq) {
+  return (static_cast<std::uint64_t>(topic) << 40) ^
+         (seq & ((1ull << 40) - 1));
+}
+
+}  // namespace frame

@@ -1,0 +1,45 @@
+#include "core/job_queue.hpp"
+
+#include "core/job.hpp"
+
+namespace frame {
+
+std::string_view to_string(JobKind kind) {
+  return kind == JobKind::kDispatch ? "dispatch" : "replicate";
+}
+
+bool JobQueue::drop_if_cancelled() {
+  const Job& top = heap_.top().job;
+  if (top.kind != JobKind::kReplicate) return false;
+  const auto it = cancelled_.find(job_message_key(top.topic, top.seq));
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  heap_.pop();
+  ++cancelled_drops_;
+  return true;
+}
+
+std::optional<Job> JobQueue::pop() {
+  while (!heap_.empty()) {
+    if (drop_if_cancelled()) continue;
+    Job job = heap_.top().job;
+    heap_.pop();
+    return job;
+  }
+  return std::nullopt;
+}
+
+std::optional<Job> JobQueue::peek() {
+  while (!heap_.empty()) {
+    if (drop_if_cancelled()) continue;
+    return heap_.top().job;
+  }
+  return std::nullopt;
+}
+
+void JobQueue::clear() {
+  heap_ = {};
+  cancelled_.clear();
+}
+
+}  // namespace frame

@@ -1,0 +1,83 @@
+// The EDF Job Queue (Section IV-A) with a FIFO mode for the baselines.
+//
+// EDF mode orders jobs by absolute deadline (ties broken by arrival order);
+// FIFO mode orders purely by arrival order, which is how the FCFS and FCFS−
+// baselines process work.
+//
+// Dispatch-replicate coordination needs to cancel a pending replication when
+// the corresponding message has already been dispatched (Table 3, Dispatch
+// step 3 / Replicate step 1).  Cancellation is lazy: cancelled keys are
+// recorded in a hash set and matching replicate jobs are dropped at pop
+// time, keeping both cancel and pop O(log n).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace frame {
+
+enum class SchedulingPolicy : std::uint8_t {
+  kEdf = 0,
+  kFifo = 1,
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(SchedulingPolicy policy = SchedulingPolicy::kEdf)
+      : policy_(policy) {}
+
+  SchedulingPolicy policy() const { return policy_; }
+
+  void push(Job job) { heap_.push(HeapItem{policy_, std::move(job)}); }
+
+  /// Removes and returns the next runnable job, skipping replicate jobs
+  /// whose message key has been cancelled.
+  std::optional<Job> pop();
+
+  /// Next runnable job without removing it (skips cancelled ones).
+  std::optional<Job> peek();
+
+  /// Cancels any pending replicate job for (topic, seq).  Idempotent; safe
+  /// to call when no such job exists.
+  void cancel_replication(TopicId topic, SeqNo seq) {
+    cancelled_.insert(job_message_key(topic, seq));
+  }
+
+  bool empty() { return !peek().has_value(); }
+
+  /// Jobs currently stored, including not-yet-skipped cancelled ones.
+  std::size_t raw_size() const { return heap_.size(); }
+
+  /// Number of replicate jobs dropped due to cancellation so far.
+  std::uint64_t cancelled_drops() const { return cancelled_drops_; }
+
+  void clear();
+
+ private:
+  struct HeapItem {
+    SchedulingPolicy policy;
+    Job job;
+    bool operator<(const HeapItem& other) const {
+      if (policy == SchedulingPolicy::kEdf) {
+        if (job.deadline != other.job.deadline) {
+          return job.deadline > other.job.deadline;  // min-heap on deadline
+        }
+      }
+      return job.order > other.job.order;  // min-heap on arrival order
+    }
+  };
+
+  bool drop_if_cancelled();
+
+  SchedulingPolicy policy_;
+  std::priority_queue<HeapItem> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t cancelled_drops_ = 0;
+};
+
+}  // namespace frame

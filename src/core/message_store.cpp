@@ -1,0 +1,63 @@
+#include "core/message_store.hpp"
+
+namespace frame {
+
+void MessageStore::configure(std::size_t topic_count) {
+  rings_.clear();
+  rings_.reserve(topic_count);
+  for (std::size_t i = 0; i < topic_count; ++i) {
+    rings_.emplace_back(capacity_);
+  }
+}
+
+RingBuffer<StoredMessage>* MessageStore::ring(TopicId topic) {
+  if (topic >= rings_.size()) return nullptr;
+  return &rings_[topic];
+}
+
+const RingBuffer<StoredMessage>* MessageStore::ring(TopicId topic) const {
+  if (topic >= rings_.size()) return nullptr;
+  return &rings_[topic];
+}
+
+std::optional<StoredMessage> MessageStore::insert(const Message& msg) {
+  auto* r = ring(msg.topic);
+  if (r == nullptr) return std::nullopt;
+  return r->push_back(StoredMessage{msg, false, false, false});
+}
+
+StoredMessage* MessageStore::find(TopicId topic, SeqNo seq) {
+  auto* r = ring(topic);
+  if (r == nullptr || r->empty()) return nullptr;
+  // Fast path: within a topic seqs are normally consecutive, so the entry
+  // sits at a computable offset from the ring front.
+  const SeqNo front_seq = r->front().msg.seq;
+  if (seq >= front_seq) {
+    const std::size_t offset = static_cast<std::size_t>(seq - front_seq);
+    if (offset < r->size() && r->at(offset).msg.seq == seq) {
+      return &r->at(offset);
+    }
+  }
+  // Slow path for gapped rings (retention resends after failover): scan
+  // newest-first; rings are small (tens of entries).
+  for (std::size_t i = r->size(); i-- > 0;) {
+    if (r->at(i).msg.seq == seq) return &r->at(i);
+  }
+  return nullptr;
+}
+
+const StoredMessage* MessageStore::find(TopicId topic, SeqNo seq) const {
+  return const_cast<MessageStore*>(this)->find(topic, seq);
+}
+
+std::size_t MessageStore::size() const {
+  std::size_t total = 0;
+  for (const auto& r : rings_) total += r.size();
+  return total;
+}
+
+void MessageStore::clear() {
+  for (auto& r : rings_) r.clear();
+}
+
+}  // namespace frame

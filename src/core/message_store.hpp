@@ -1,0 +1,72 @@
+// The Primary's Message Buffer (Section IV/V).
+//
+// Per-topic ring buffers of message copies, each carrying the coordination
+// flags of Table 3 that belong to the Primary side: Dispatched and
+// Replicated.  Entries are addressed by (topic, seq); because sequence
+// numbers within a topic are consecutive, lookup is O(1) from the ring
+// front.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "core/topic.hpp"
+#include "net/message.hpp"
+
+namespace frame {
+
+struct StoredMessage {
+  Message msg;
+  bool dispatched = false;
+  bool replicated = false;
+  /// True while a replicate job for this copy may still be pending in the
+  /// job queue; lets the Dispatch step cancel only jobs that exist.
+  bool replicate_job_pending = false;
+};
+
+class MessageStore {
+ public:
+  /// `per_topic_capacity` bounds how many undelivered copies a topic can
+  /// hold; an arrival evicting an undelivered copy is reported so callers
+  /// can count drop-by-overwrite.
+  explicit MessageStore(std::size_t per_topic_capacity = 64)
+      : capacity_(per_topic_capacity) {}
+
+  /// Declares topics [0, count).  Topic ids must be dense.
+  void configure(std::size_t topic_count);
+
+  std::size_t topic_count() const { return rings_.size(); }
+
+  /// Inserts a copy of `msg`; returns the evicted entry if the topic ring
+  /// was full.
+  std::optional<StoredMessage> insert(const Message& msg);
+
+  /// Entry lookup; nullptr when the copy is absent (never stored or already
+  /// evicted).  The pointer is invalidated by the next insert to the topic.
+  StoredMessage* find(TopicId topic, SeqNo seq);
+  const StoredMessage* find(TopicId topic, SeqNo seq) const;
+
+  /// Total entries across topics (O(topics); for tests/metrics).
+  std::size_t size() const;
+
+  /// Visits every stored entry, ascending topic, oldest first per topic.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& ring : rings_) {
+      ring.for_each([&](StoredMessage& entry) { fn(entry); });
+    }
+  }
+
+  void clear();
+
+ private:
+  RingBuffer<StoredMessage>* ring(TopicId topic);
+  const RingBuffer<StoredMessage>* ring(TopicId topic) const;
+
+  std::size_t capacity_;
+  std::vector<RingBuffer<StoredMessage>> rings_;
+};
+
+}  // namespace frame

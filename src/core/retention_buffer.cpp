@@ -1,0 +1,40 @@
+#include "core/retention_buffer.hpp"
+
+#include <algorithm>
+
+namespace frame {
+
+void RetentionBuffer::add_topic(TopicId topic, std::size_t retention) {
+  rings_.emplace(topic, RingBuffer<Message>(retention));
+}
+
+void RetentionBuffer::retain(const Message& msg) {
+  auto it = rings_.find(msg.topic);
+  if (it == rings_.end()) return;
+  it->second.push_back(msg);
+}
+
+std::vector<Message> RetentionBuffer::retained(TopicId topic) const {
+  std::vector<Message> out;
+  auto it = rings_.find(topic);
+  if (it == rings_.end()) return out;
+  out.reserve(it->second.size());
+  it->second.for_each([&](const Message& msg) { out.push_back(msg); });
+  return out;
+}
+
+std::vector<Message> RetentionBuffer::all_retained() const {
+  std::vector<Message> out;
+  for (const auto& [topic, ring] : rings_) {
+    ring.for_each([&](const Message& msg) { out.push_back(msg); });
+  }
+  // Deterministic order: ascending topic, then sequence (the map itself is
+  // unordered).
+  std::sort(out.begin(), out.end(), [](const Message& a, const Message& b) {
+    if (a.topic != b.topic) return a.topic < b.topic;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+}  // namespace frame

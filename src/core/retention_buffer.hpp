@@ -1,0 +1,40 @@
+// The publisher's Retention Buffer (Section III-B).
+//
+// A publisher retains the Ni latest messages it has sent to the Primary.
+// When the publisher detects a Primary crash (after its fail-over time x),
+// it redirects traffic to the Backup and re-sends every retained message.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace frame {
+
+class RetentionBuffer {
+ public:
+  /// Registers a topic with retention depth Ni (may be zero: no retention).
+  void add_topic(TopicId topic, std::size_t retention);
+
+  /// Records a just-sent message; evicts the oldest beyond Ni.  Messages of
+  /// unregistered topics are not retained.
+  void retain(const Message& msg);
+
+  /// All currently retained messages for `topic`, oldest first.
+  std::vector<Message> retained(TopicId topic) const;
+
+  /// All retained messages across topics (the failover resend set),
+  /// oldest-first within each topic.
+  std::vector<Message> all_retained() const;
+
+  std::size_t topic_count() const { return rings_.size(); }
+
+ private:
+  std::unordered_map<TopicId, RingBuffer<Message>> rings_;
+};
+
+}  // namespace frame

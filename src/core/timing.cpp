@@ -1,0 +1,113 @@
+#include "core/timing.hpp"
+
+#include <cstdint>
+
+namespace frame {
+
+namespace {
+
+/// (Ni + Li)·Ti with saturation: Li = ∞ or overflow yields infinite.
+Duration loss_window(const TopicSpec& spec) {
+  if (spec.best_effort()) return kDurationInfinite;
+  const auto factor = static_cast<std::int64_t>(spec.retention) +
+                      static_cast<std::int64_t>(spec.loss_tolerance);
+  const __int128 window =
+      static_cast<__int128>(factor) * static_cast<__int128>(spec.period);
+  if (window >= static_cast<__int128>(kDurationInfinite)) {
+    return kDurationInfinite;
+  }
+  return static_cast<Duration>(window);
+}
+
+Duration subtract_saturating(Duration lhs, Duration rhs) {
+  if (lhs == kDurationInfinite) return kDurationInfinite;
+  return lhs - rhs;
+}
+
+}  // namespace
+
+Duration replication_pseudo_deadline(const TopicSpec& spec,
+                                     const TimingParams& params) {
+  const Duration window = loss_window(spec);
+  return subtract_saturating(window, params.delta_bb + params.failover_x);
+}
+
+Duration dispatch_pseudo_deadline(const TopicSpec& spec,
+                                  const TimingParams& params) {
+  return spec.deadline - params.delta_bs(spec.destination);
+}
+
+Duration replication_deadline(const TopicSpec& spec,
+                              const TimingParams& params) {
+  return subtract_saturating(replication_pseudo_deadline(spec, params),
+                             params.delta_pb);
+}
+
+Duration dispatch_deadline(const TopicSpec& spec,
+                           const TimingParams& params) {
+  return dispatch_pseudo_deadline(spec, params) - params.delta_pb;
+}
+
+Duration apply_observed_delta_pb(Duration pseudo_deadline,
+                                 Duration observed_delta_pb) {
+  return subtract_saturating(pseudo_deadline, observed_delta_pb);
+}
+
+bool needs_replication(const TopicSpec& spec, const TimingParams& params) {
+  if (spec.best_effort()) return false;
+  // Proposition 1: suppression is sufficient when Dd <= Dr.  Both sides
+  // share the −ΔPB term, so pseudo deadlines decide it.
+  const Duration dd = dispatch_pseudo_deadline(spec, params);
+  const Duration dr = replication_pseudo_deadline(spec, params);
+  return dd > dr;
+}
+
+Status admission_test(const TopicSpec& spec, const TimingParams& params) {
+  // Ti = ∞ (rare, time-critical messages, Section III-D.4) is modelled by a
+  // huge period, never by a non-positive one.
+  if (spec.period <= 0) {
+    return Status(StatusCode::kInvalid, "topic period must be positive");
+  }
+  if (dispatch_deadline(spec, params) < 0) {
+    return Status(StatusCode::kRejected,
+                  "dispatch deadline negative: Di too small for "
+                  "DeltaPB + DeltaBS");
+  }
+  const Duration dr = replication_deadline(spec, params);
+  if (dr != kDurationInfinite && dr < 0) {
+    return Status(StatusCode::kRejected,
+                  "replication deadline negative: increase Ni or Li");
+  }
+  return Status::ok();
+}
+
+std::uint32_t min_retention_for_admission(const TopicSpec& spec,
+                                          const TimingParams& params) {
+  if (spec.best_effort()) return 0;
+  // Need (Ni + Li)·Ti >= ΔPB + ΔBB + x.
+  const Duration budget =
+      params.delta_pb + params.delta_bb + params.failover_x;
+  const std::int64_t needed =
+      (budget + spec.period - 1) / spec.period;  // ceil division
+  const std::int64_t ni =
+      needed - static_cast<std::int64_t>(spec.loss_tolerance);
+  return ni > 0 ? static_cast<std::uint32_t>(ni) : 0;
+}
+
+TopicTiming compute_topic_timing(const TopicSpec& spec,
+                                 const TimingParams& params, bool selective) {
+  TopicTiming timing;
+  timing.dispatch_pseudo_deadline = dispatch_pseudo_deadline(spec, params);
+  timing.replication_pseudo_deadline =
+      replication_pseudo_deadline(spec, params);
+  if (spec.best_effort()) {
+    timing.replicate = false;
+  } else if (selective) {
+    timing.replicate = needs_replication(spec, params);
+  } else {
+    timing.replicate = true;
+  }
+  return timing;
+}
+
+}  // namespace frame

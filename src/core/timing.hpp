@@ -1,0 +1,74 @@
+// The paper's timing model: Lemmas 1 and 2, the admission test, and
+// Proposition 1 (selective replication).  Section III-C/D.
+//
+// Terminology:
+//  * "pseudo" relative deadlines are computed at configuration time and do
+//    not include the observed publisher->broker latency ΔPB:
+//        Dr' = (Ni + Li)·Ti − ΔBB − x          (replication)
+//        Dd' = Di − ΔBS                         (dispatch)
+//  * the Job Generator subtracts the per-message observed ΔPB = tp − tc at
+//    run time to obtain the lemma deadlines Dr = Dr' − ΔPB, Dd = Dd' − ΔPB
+//    and stamps each job with the absolute deadline tp + D.
+#pragma once
+
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "core/topic.hpp"
+
+namespace frame {
+
+/// Dr' = (Ni + Li)·Ti − ΔBB − x.  Returns kDurationInfinite for best-effort
+/// topics (Li = ∞): such topics never need replication, hence their
+/// replication deadline never constrains the system.
+Duration replication_pseudo_deadline(const TopicSpec& spec,
+                                     const TimingParams& params);
+
+/// Dd' = Di − ΔBS, where ΔBS is the lower bound for the topic's destination.
+Duration dispatch_pseudo_deadline(const TopicSpec& spec,
+                                  const TimingParams& params);
+
+/// Lemma 1: Dr = (Ni + Li)·Ti − ΔPB − ΔBB − x, using the configured ΔPB
+/// bound.  For the per-message value, subtract the observed ΔPB from the
+/// pseudo deadline instead.
+Duration replication_deadline(const TopicSpec& spec,
+                              const TimingParams& params);
+
+/// Lemma 2: Dd = Di − ΔPB − ΔBS.
+Duration dispatch_deadline(const TopicSpec& spec, const TimingParams& params);
+
+/// Subtracts the observed per-message ΔPB from a pseudo deadline, keeping
+/// infinities intact.
+Duration apply_observed_delta_pb(Duration pseudo_deadline,
+                                 Duration observed_delta_pb);
+
+/// Proposition 1: replication of topic i may be suppressed when
+/// Dd_i <= Dr_i (and the system meets Dd_i).  Best-effort topics never need
+/// replication.  Equivalent test (paper, Section III-D):
+/// replication is needed iff  x + ΔBB − ΔBS > (Ni + Li)·Ti − Di.
+bool needs_replication(const TopicSpec& spec, const TimingParams& params);
+
+/// Admission test (Section III-D.1): both Dr >= 0 and Dd >= 0 must hold.
+/// A topic whose replication would be suppressed by Proposition 1 still
+/// needs Dr >= 0 unless it is best-effort: Dd <= Dr together with Dd >= 0
+/// already implies it.
+Status admission_test(const TopicSpec& spec, const TimingParams& params);
+
+/// The smallest Ni that makes Dr non-negative (the paper's Table 2 lists
+/// this minimum per category).  Best-effort topics need no retention (0).
+std::uint32_t min_retention_for_admission(const TopicSpec& spec,
+                                          const TimingParams& params);
+
+/// Per-topic precomputed scheduling state, produced at configuration time
+/// and consumed by the Job Generator on every arrival.
+struct TopicTiming {
+  Duration dispatch_pseudo_deadline = 0;
+  Duration replication_pseudo_deadline = 0;
+  bool replicate = false;  ///< after Proposition 1 (and policy) is applied
+};
+
+/// Computes TopicTiming for one topic.  `selective` enables Proposition 1;
+/// when false (the FCFS baselines), every non-best-effort topic replicates.
+TopicTiming compute_topic_timing(const TopicSpec& spec,
+                                 const TimingParams& params, bool selective);
+
+}  // namespace frame

@@ -1,0 +1,46 @@
+#include "core/topic.hpp"
+
+#include <cassert>
+
+namespace frame {
+
+std::string_view to_string(Destination destination) {
+  return destination == Destination::kEdge ? "edge" : "cloud";
+}
+
+TopicSpec table2_spec(int category, TopicId id) {
+  assert(category >= 0 && category < kTable2Categories);
+  TopicSpec spec;
+  spec.id = id;
+  switch (category) {
+    case 0:
+      spec = {id, milliseconds(50), milliseconds(50), 0, 2,
+              Destination::kEdge};
+      break;
+    case 1:
+      spec = {id, milliseconds(50), milliseconds(50), 3, 0,
+              Destination::kEdge};
+      break;
+    case 2:
+      spec = {id, milliseconds(100), milliseconds(100), 0, 1,
+              Destination::kEdge};
+      break;
+    case 3:
+      spec = {id, milliseconds(100), milliseconds(100), 3, 0,
+              Destination::kEdge};
+      break;
+    case 4:
+      spec = {id, milliseconds(100), milliseconds(100), kLossInfinite, 0,
+              Destination::kEdge};
+      break;
+    case 5:
+      spec = {id, milliseconds(500), milliseconds(500), 0, 1,
+              Destination::kCloud};
+      break;
+    default:
+      break;
+  }
+  return spec;
+}
+
+}  // namespace frame

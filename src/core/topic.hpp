@@ -1,0 +1,63 @@
+// Topic QoS specification (paper Section III).
+//
+// Every topic carries four QoS parameters:
+//   Ti  (period)          minimum inter-creation time of its messages
+//   Di  (deadline)        soft end-to-end latency bound, publisher->subscriber
+//   Li  (loss tolerance)  max acceptable number of *consecutive* losses
+//   Ni  (retention)       how many latest messages its publisher retains for
+//                         re-sending to the Backup after a failover
+// plus a destination (edge or cloud), which selects the broker->subscriber
+// latency bound ΔBS used in the timing analysis.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace frame {
+
+/// Li = kLossInfinite means best-effort delivery (the paper's Li = ∞).
+inline constexpr std::uint32_t kLossInfinite = 0xffffffffu;
+
+enum class Destination : std::uint8_t { kEdge = 0, kCloud = 1 };
+
+std::string_view to_string(Destination destination);
+
+struct TopicSpec {
+  TopicId id = kInvalidTopic;
+  Duration period = 0;             ///< Ti
+  Duration deadline = 0;           ///< Di
+  std::uint32_t loss_tolerance = 0;  ///< Li (kLossInfinite = best effort)
+  std::uint32_t retention = 0;     ///< Ni
+  Destination destination = Destination::kEdge;
+
+  bool best_effort() const { return loss_tolerance == kLossInfinite; }
+};
+
+/// Deployment timing parameters the analysis depends on (Section III-A/B).
+/// ΔBS is a per-destination *lower bound* obtained by measurement; using a
+/// lower bound is what keeps Proposition 1 safe under cloud-latency
+/// variation (Section III-D.5, Fig. 8).
+struct TimingParams {
+  Duration delta_pb = 0;        ///< ΔPB bound, publisher -> broker
+  Duration delta_bs_edge = 0;   ///< ΔBS lower bound for edge subscribers
+  Duration delta_bs_cloud = 0;  ///< ΔBS lower bound for cloud subscribers
+  Duration delta_bb = 0;        ///< ΔBB, Primary -> Backup
+  Duration failover_x = 0;      ///< x, publisher fail-over time
+
+  Duration delta_bs(Destination destination) const {
+    return destination == Destination::kEdge ? delta_bs_edge : delta_bs_cloud;
+  }
+};
+
+/// The six topic categories of the paper's Table 2 (values in ms).
+/// Categories 0-4 target edge subscribers; category 5 targets the cloud.
+TopicSpec table2_spec(int category, TopicId id);
+
+/// Number of categories defined by Table 2.
+inline constexpr int kTable2Categories = 6;
+
+}  // namespace frame

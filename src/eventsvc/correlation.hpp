@@ -1,0 +1,77 @@
+// Event Correlation module (TAO event channel stage 2).
+//
+// The original TAO event service supports simple logical correlations
+// (Section V of the paper: "Prior to our work, the TAO real-time event
+// service only supported simple event correlations (logical conjunction
+// and disjunction)").  This module reproduces that capability:
+//
+//  * Disjunction: deliver as soon as any pattern of the set matches.
+//  * Conjunction: buffer matching events until every pattern of the set has
+//    been seen at least once, then deliver the collected group and reset.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "eventsvc/event.hpp"
+#include "eventsvc/filtering.hpp"
+
+namespace frame::eventsvc {
+
+enum class CorrelationKind : std::uint8_t { kDisjunction = 0, kConjunction = 1 };
+
+struct CorrelationSpec {
+  CorrelationKind kind = CorrelationKind::kDisjunction;
+  std::vector<SubscriptionPattern> patterns;
+};
+
+/// Per-consumer correlator.  offer() returns the group of events to deliver
+/// (possibly empty when a conjunction is still incomplete).
+class Correlator {
+ public:
+  explicit Correlator(CorrelationSpec spec) : spec_(std::move(spec)) {
+    pending_.resize(spec_.patterns.size());
+    seen_.assign(spec_.patterns.size(), false);
+  }
+
+  const CorrelationSpec& spec() const { return spec_; }
+
+  std::vector<Event> offer(const Event& event) {
+    std::vector<Event> out;
+    if (spec_.kind == CorrelationKind::kDisjunction) {
+      for (const auto& pattern : spec_.patterns) {
+        if (pattern.matches(event.header)) {
+          out.push_back(event);
+          break;
+        }
+      }
+      return out;
+    }
+    // Conjunction: latch the newest event per pattern slot.
+    bool matched = false;
+    for (std::size_t i = 0; i < spec_.patterns.size(); ++i) {
+      if (spec_.patterns[i].matches(event.header)) {
+        pending_[i] = event;
+        seen_[i] = true;
+        matched = true;
+      }
+    }
+    if (!matched) return out;
+    for (const bool seen : seen_) {
+      if (!seen) return out;
+    }
+    out = std::move(pending_);
+    pending_.clear();
+    pending_.resize(spec_.patterns.size());
+    seen_.assign(spec_.patterns.size(), false);
+    return out;
+  }
+
+ private:
+  CorrelationSpec spec_;
+  std::vector<Event> pending_;
+  std::vector<bool> seen_;
+};
+
+}  // namespace frame::eventsvc

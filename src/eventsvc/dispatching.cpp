@@ -1,0 +1,76 @@
+#include "eventsvc/dispatching.hpp"
+
+namespace frame::eventsvc {
+
+ThreadPoolDispatcher::ThreadPoolDispatcher(std::size_t threads,
+                                           std::size_t lanes)
+    : lanes_(lanes == 0 ? 1 : lanes) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPoolDispatcher::~ThreadPoolDispatcher() { shutdown(); }
+
+void ThreadPoolDispatcher::dispatch(std::size_t priority, DispatchWork work) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    if (priority >= lanes_.size()) priority = lanes_.size() - 1;
+    lanes_[priority].push_back(std::move(work));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPoolDispatcher::queues_empty_locked() const {
+  for (const auto& lane : lanes_) {
+    if (!lane.empty()) return false;
+  }
+  return true;
+}
+
+void ThreadPoolDispatcher::drain() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock,
+                [&] { return (queues_empty_locked() && in_flight_ == 0) ||
+                             stop_; });
+}
+
+void ThreadPoolDispatcher::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPoolDispatcher::worker_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || !queues_empty_locked(); });
+    if (stop_) return;
+    DispatchWork work;
+    for (auto& lane : lanes_) {  // highest-priority lane first
+      if (!lane.empty()) {
+        work = std::move(lane.front());
+        lane.pop_front();
+        break;
+      }
+    }
+    ++in_flight_;
+    lock.unlock();
+    work();
+    lock.lock();
+    --in_flight_;
+    if (queues_empty_locked() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace frame::eventsvc

@@ -1,0 +1,70 @@
+// Dispatching module (TAO event channel stage 3).
+//
+// The TAO real-time event service dispatches events to consumers through
+// preemption-priority lanes served by a thread pool.  Two implementations
+// are provided:
+//   * SynchronousDispatcher - runs the delivery inline (deterministic,
+//     used by tests and by single-threaded hosts);
+//   * ThreadPoolDispatcher  - N worker threads draining priority lanes
+//     (highest lane first, FIFO within a lane).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace frame::eventsvc {
+
+/// A unit of delivery work: deliver one event to one consumer proxy.
+using DispatchWork = std::function<void()>;
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Enqueues `work` at `priority` (0 = highest lane).
+  virtual void dispatch(std::size_t priority, DispatchWork work) = 0;
+
+  /// Blocks until all queued work has run (no-op for synchronous).
+  virtual void drain() = 0;
+};
+
+class SynchronousDispatcher final : public Dispatcher {
+ public:
+  void dispatch(std::size_t priority, DispatchWork work) override {
+    (void)priority;
+    work();
+  }
+  void drain() override {}
+};
+
+class ThreadPoolDispatcher final : public Dispatcher {
+ public:
+  ThreadPoolDispatcher(std::size_t threads, std::size_t lanes);
+  ~ThreadPoolDispatcher() override;
+
+  ThreadPoolDispatcher(const ThreadPoolDispatcher&) = delete;
+  ThreadPoolDispatcher& operator=(const ThreadPoolDispatcher&) = delete;
+
+  void dispatch(std::size_t priority, DispatchWork work) override;
+  void drain() override;
+  void shutdown();
+
+ private:
+  void worker_loop();
+  bool queues_empty_locked() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<std::deque<DispatchWork>> lanes_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace frame::eventsvc

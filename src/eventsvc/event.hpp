@@ -1,0 +1,38 @@
+// Event model for the real-time event service substrate.
+//
+// This library is a from-scratch stand-in for the TAO real-time event
+// service the paper builds on (Harrison/Levine/Schmidt, "The Design and
+// Performance of a Real-Time CORBA Event Service"): typed events flow from
+// suppliers through an event channel (subscription & filtering, optional
+// correlation, dispatching) to consumers.  FRAME replaces the channel's
+// middle modules (paper Fig. 5) while keeping the supplier/consumer proxy
+// interfaces intact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace frame::eventsvc {
+
+using SupplierId = std::uint32_t;
+using EventType = std::uint32_t;
+
+inline constexpr SupplierId kAnySupplier = 0xffffffffu;
+inline constexpr EventType kAnyType = 0xffffffffu;
+
+/// Fixed header carried by every event (source + type drive filtering).
+struct EventHeader {
+  SupplierId source = 0;
+  EventType type = 0;
+  TimePoint creation_time = 0;
+};
+
+struct Event {
+  EventHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+}  // namespace frame::eventsvc

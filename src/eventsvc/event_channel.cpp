@@ -1,0 +1,121 @@
+#include "eventsvc/event_channel.hpp"
+
+namespace frame::eventsvc {
+
+EventChannel::EventChannel(std::unique_ptr<Dispatcher> dispatcher)
+    : dispatcher_(std::move(dispatcher)) {}
+
+EventChannel::~EventChannel() = default;
+
+ProxyPushConsumer& EventChannel::obtain_push_consumer(SupplierId supplier) {
+  std::lock_guard lock(mutex_);
+  auto it = suppliers_.find(supplier);
+  if (it == suppliers_.end()) {
+    auto proxy = std::make_unique<ProxyPushConsumer>(
+        supplier, [this](const Event& event) { on_supplier_push(event); });
+    it = suppliers_.emplace(supplier, std::move(proxy)).first;
+  }
+  return *it->second;
+}
+
+ProxyPushSupplier& EventChannel::obtain_push_supplier(NodeId consumer) {
+  std::lock_guard lock(mutex_);
+  auto it = consumers_.find(consumer);
+  if (it == consumers_.end()) {
+    ConsumerState state;
+    state.proxy = std::make_unique<ProxyPushSupplier>(consumer);
+    it = consumers_.emplace(consumer, std::move(state)).first;
+  }
+  return *it->second.proxy;
+}
+
+void EventChannel::subscribe(NodeId consumer, Filter filter,
+                             std::size_t priority) {
+  obtain_push_supplier(consumer);
+  std::lock_guard lock(mutex_);
+  auto& state = consumers_[consumer];
+  state.filter = std::move(filter);
+  state.correlator.reset();
+  state.priority = priority;
+}
+
+void EventChannel::set_correlation(NodeId consumer, CorrelationSpec spec,
+                                   std::size_t priority) {
+  obtain_push_supplier(consumer);
+  std::lock_guard lock(mutex_);
+  auto& state = consumers_[consumer];
+  state.correlator = std::make_unique<Correlator>(std::move(spec));
+  state.priority = priority;
+}
+
+void EventChannel::set_intake_hook(IntakeHook hook) {
+  std::lock_guard lock(mutex_);
+  intake_hook_ = std::move(hook);
+}
+
+void EventChannel::deliver_to(NodeId consumer, const Event& event) {
+  ProxyPushSupplier* proxy = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = consumers_.find(consumer);
+    if (it == consumers_.end()) return;
+    proxy = it->second.proxy.get();
+    ++stats_.delivered;
+  }
+  proxy->push(event);
+}
+
+void EventChannel::drain() {
+  if (dispatcher_) dispatcher_->drain();
+}
+
+EventChannel::Stats EventChannel::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void EventChannel::on_supplier_push(const Event& event) {
+  IntakeHook hook;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.pushed;
+    hook = intake_hook_;
+  }
+  if (hook) {
+    // FRAME mode (Fig. 5b): the Message Proxy takes over from here.
+    hook(event);
+    return;
+  }
+  // Classic mode (Fig. 5a): filtering -> correlation -> dispatching.
+  struct Delivery {
+    ProxyPushSupplier* proxy;
+    std::size_t priority;
+    Event event;
+  };
+  std::vector<Delivery> deliveries;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [consumer, state] : consumers_) {
+      if (state.correlator != nullptr) {
+        for (auto& grouped : state.correlator->offer(event)) {
+          deliveries.push_back(
+              Delivery{state.proxy.get(), state.priority, std::move(grouped)});
+        }
+      } else if (state.filter.matches(event.header)) {
+        deliveries.push_back(Delivery{state.proxy.get(), state.priority, event});
+      } else if (state.filter.pattern_count() > 0) {
+        ++stats_.filtered_out;
+      }
+    }
+    stats_.delivered += deliveries.size();
+  }
+  for (auto& delivery : deliveries) {
+    auto* proxy = delivery.proxy;
+    dispatcher_->dispatch(delivery.priority,
+                          [proxy, event = std::move(delivery.event)] {
+                            proxy->push(event);
+                          });
+  }
+}
+
+}  // namespace frame::eventsvc

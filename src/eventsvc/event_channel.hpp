@@ -1,0 +1,97 @@
+// The event channel: assembly of proxies and middle stages (paper Fig. 5).
+//
+// Two operating modes mirror the figure:
+//   * Classic (Fig. 5a): Supplier Proxies -> Subscription & Filtering ->
+//     Event Correlation -> Dispatching -> Consumer Proxies.
+//   * FRAME (Fig. 5b): Supplier Proxies -> intake hook (FRAME's Message
+//     Proxy); delivery happens later when FRAME's Message Delivery module
+//     calls deliver_to(), which invokes the Consumer Proxies' push.
+//
+// The Supplier/Consumer proxy interfaces are identical in both modes — the
+// property that made the paper's integration possible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "eventsvc/correlation.hpp"
+#include "eventsvc/dispatching.hpp"
+#include "eventsvc/event.hpp"
+#include "eventsvc/filtering.hpp"
+#include "eventsvc/proxies.hpp"
+
+namespace frame::eventsvc {
+
+class EventChannel {
+ public:
+  /// `dispatcher` serves the classic path; pass a SynchronousDispatcher for
+  /// deterministic inline delivery.
+  explicit EventChannel(std::unique_ptr<Dispatcher> dispatcher);
+  ~EventChannel();
+
+  EventChannel(const EventChannel&) = delete;
+  EventChannel& operator=(const EventChannel&) = delete;
+
+  // -- SupplierAdmin -------------------------------------------------------
+  /// Returns the proxy a supplier pushes its events into.
+  ProxyPushConsumer& obtain_push_consumer(SupplierId supplier);
+
+  // -- ConsumerAdmin -------------------------------------------------------
+  /// Returns the proxy that pushes to consumer `consumer`; connect a
+  /// callback on it to start receiving.
+  ProxyPushSupplier& obtain_push_supplier(NodeId consumer);
+
+  /// Classic-path subscription: consumer receives events matching `filter`,
+  /// at dispatch priority `priority` (0 = highest).
+  void subscribe(NodeId consumer, Filter filter, std::size_t priority = 0);
+
+  /// Optional classic-path correlation for a consumer (conjunction or
+  /// disjunction over patterns).  Replaces plain filtering for the
+  /// consumer.
+  void set_correlation(NodeId consumer, CorrelationSpec spec,
+                       std::size_t priority = 0);
+
+  // -- FRAME integration (Fig. 5b) ----------------------------------------
+  /// Replaces the middle stages: every supplier push goes to `hook` and the
+  /// classic path is bypassed.
+  using IntakeHook = std::function<void(const Event&)>;
+  void set_intake_hook(IntakeHook hook);
+
+  /// Direct delivery through a Consumer Proxy, used by FRAME's Message
+  /// Delivery module.
+  void deliver_to(NodeId consumer, const Event& event);
+
+  /// Blocks until the dispatcher has drained (classic path only).
+  void drain();
+
+  struct Stats {
+    std::uint64_t pushed = 0;
+    std::uint64_t filtered_out = 0;
+    std::uint64_t delivered = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct ConsumerState {
+    std::unique_ptr<ProxyPushSupplier> proxy;
+    Filter filter;
+    std::unique_ptr<Correlator> correlator;
+    std::size_t priority = 0;
+  };
+
+  void on_supplier_push(const Event& event);
+
+  std::unique_ptr<Dispatcher> dispatcher_;
+  mutable std::mutex mutex_;
+  std::unordered_map<SupplierId, std::unique_ptr<ProxyPushConsumer>>
+      suppliers_;
+  std::unordered_map<NodeId, ConsumerState> consumers_;
+  IntakeHook intake_hook_;
+  Stats stats_;
+};
+
+}  // namespace frame::eventsvc

@@ -1,0 +1,48 @@
+// Subscription & Filtering module (TAO event channel stage 1).
+//
+// Consumers subscribe with a set of (source, type) patterns; kAnySupplier /
+// kAnyType act as wildcards.  An event passes a consumer's filter when any
+// pattern matches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "eventsvc/event.hpp"
+
+namespace frame::eventsvc {
+
+struct SubscriptionPattern {
+  SupplierId source = kAnySupplier;
+  EventType type = kAnyType;
+
+  bool matches(const EventHeader& header) const {
+    const bool source_ok = source == kAnySupplier || source == header.source;
+    const bool type_ok = type == kAnyType || type == header.type;
+    return source_ok && type_ok;
+  }
+};
+
+class Filter {
+ public:
+  Filter() = default;
+  explicit Filter(std::vector<SubscriptionPattern> patterns)
+      : patterns_(std::move(patterns)) {}
+
+  void add(SubscriptionPattern pattern) { patterns_.push_back(pattern); }
+
+  /// An empty filter matches nothing (a consumer must subscribe).
+  bool matches(const EventHeader& header) const {
+    for (const auto& pattern : patterns_) {
+      if (pattern.matches(header)) return true;
+    }
+    return false;
+  }
+
+  std::size_t pattern_count() const { return patterns_.size(); }
+
+ private:
+  std::vector<SubscriptionPattern> patterns_;
+};
+
+}  // namespace frame::eventsvc

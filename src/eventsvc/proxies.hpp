@@ -1,0 +1,68 @@
+// Supplier and Consumer proxies (the TAO event channel's outer modules).
+//
+// FRAME preserves exactly these interfaces (paper Fig. 5): suppliers push
+// events into a ProxyPushConsumer obtained from the SupplierAdmin;
+// consumers receive events through a ProxyPushSupplier obtained from the
+// ConsumerAdmin.  The channel wires the proxies to whichever middle stages
+// are configured (classic filtering/correlation/dispatching, or FRAME's
+// Message Proxy + Message Delivery).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "eventsvc/event.hpp"
+
+namespace frame::eventsvc {
+
+/// Supplier-side proxy: the object a supplier pushes events into.
+class ProxyPushConsumer {
+ public:
+  using PushHook = std::function<void(const Event&)>;
+
+  ProxyPushConsumer(SupplierId supplier, PushHook hook)
+      : supplier_(supplier), hook_(std::move(hook)) {}
+
+  SupplierId supplier() const { return supplier_; }
+
+  /// Entry point for supplier traffic.  FRAME attaches its Message Proxy
+  /// here ("a hook method within the push method of the Supplier Proxies
+  /// module", Section V).
+  void push(const Event& event) {
+    if (hook_) hook_(event);
+  }
+
+  void disconnect() { hook_ = nullptr; }
+  bool connected() const { return static_cast<bool>(hook_); }
+
+ private:
+  SupplierId supplier_;
+  PushHook hook_;
+};
+
+/// Consumer-side proxy: the channel pushes matching events to it, and it
+/// forwards them to the attached consumer callback.
+class ProxyPushSupplier {
+ public:
+  using ConsumerCallback = std::function<void(const Event&)>;
+
+  explicit ProxyPushSupplier(NodeId consumer) : consumer_(consumer) {}
+
+  NodeId consumer() const { return consumer_; }
+
+  void connect(ConsumerCallback callback) { callback_ = std::move(callback); }
+  void disconnect() { callback_ = nullptr; }
+  bool connected() const { return static_cast<bool>(callback_); }
+
+  /// Invoked by the channel's delivery stage.
+  void push(const Event& event) {
+    if (callback_) callback_(event);
+  }
+
+ private:
+  NodeId consumer_;
+  ConsumerCallback callback_;
+};
+
+}  // namespace frame::eventsvc

@@ -1,0 +1,49 @@
+// Transport abstraction for the runtime deployment.
+//
+// A Bus connects named nodes (publishers, brokers, subscribers): each node
+// registers a frame handler and sends frames to peers by NodeId.  Two
+// implementations exist:
+//   * InprocBus - in-process queues with configurable per-link latency
+//     injection (models the paper's LAN + cloud link spread);
+//   * TcpBus    - real loopback TCP sockets per node (deployment-shaped:
+//     the same wire frames an actual multi-process install would carry).
+// Fail-stop crashes are first-class: a crashed node neither sends nor
+// receives, including frames already in flight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace frame {
+
+class Bus {
+ public:
+  using Handler =
+      std::function<void(NodeId from, std::vector<std::uint8_t> frame)>;
+
+  virtual ~Bus() = default;
+
+  /// Registers a node.  The handler runs on a transport thread; it must
+  /// not block for long.
+  virtual void register_endpoint(NodeId node, Handler handler) = 0;
+
+  /// Sends a frame; silently dropped if either end is crashed or unknown.
+  virtual void send(NodeId from, NodeId to,
+                    std::vector<std::uint8_t> frame) = 0;
+
+  /// Fail-stop crash of a node.
+  virtual void crash(NodeId node) = 0;
+
+  /// Brings a crashed node back (a restarted process re-binding).
+  virtual void restore(NodeId node) = 0;
+
+  virtual bool crashed(NodeId node) const = 0;
+
+  /// Stops transport threads; pending frames are discarded.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace frame

@@ -1,0 +1,110 @@
+// Bounds-checked little-endian wire codec.
+//
+// All multi-byte integers are encoded little-endian regardless of host
+// order so that captures and cross-host traffic are well defined.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frame {
+
+/// Appends primitive values to a growable byte vector.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + size);
+  }
+
+  /// Length-prefixed (u16) byte string.
+  void blob16(const void* data, std::size_t size) {
+    u16(static_cast<std::uint16_t>(size));
+    bytes(data, size);
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Consumes primitive values from a byte span; sets a sticky error flag on
+/// underflow instead of reading out of bounds.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() { return read_le<std::uint8_t>(); }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(read_le<std::uint64_t>()); }
+
+  /// Reads `size` raw bytes into `dst`; zero-fills on underflow.
+  void bytes(void* dst, std::size_t size) {
+    auto* p = static_cast<std::uint8_t*>(dst);
+    if (!ok_ || remaining() < size) {
+      ok_ = false;
+      std::memset(p, 0, size);
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  /// Reads a u16-length-prefixed blob; returns an empty span on underflow.
+  std::span<const std::uint8_t> blob16() {
+    const std::uint16_t size = u16();
+    if (!ok_ || remaining() < size) {
+      ok_ = false;
+      return {};
+    }
+    auto out = data_.subspan(pos_, size);
+    pos_ += size;
+    return out;
+  }
+
+ private:
+  template <typename T>
+  T read_le() {
+    if (!ok_ || remaining() < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace frame

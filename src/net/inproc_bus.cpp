@@ -1,0 +1,90 @@
+#include "net/inproc_bus.hpp"
+
+#include <utility>
+
+namespace frame {
+
+InprocBus::InprocBus() : worker_([this] { delivery_loop(); }) {}
+
+InprocBus::~InprocBus() { shutdown(); }
+
+void InprocBus::register_endpoint(NodeId node, Handler handler) {
+  std::lock_guard lock(mutex_);
+  endpoints_[node] = std::move(handler);
+}
+
+void InprocBus::set_link_latency(NodeId from, NodeId to, Duration latency) {
+  std::lock_guard lock(mutex_);
+  link_latency_[{from, to}] = latency;
+}
+
+void InprocBus::set_default_latency(Duration latency) {
+  std::lock_guard lock(mutex_);
+  default_latency_ = latency;
+}
+
+void InprocBus::crash(NodeId node) {
+  std::lock_guard lock(mutex_);
+  crashed_.insert(node);
+}
+
+bool InprocBus::crashed(NodeId node) const {
+  std::lock_guard lock(mutex_);
+  return crashed_.contains(node);
+}
+
+void InprocBus::restore(NodeId node) {
+  std::lock_guard lock(mutex_);
+  crashed_.erase(node);
+}
+
+void InprocBus::send(NodeId from, NodeId to,
+                     std::vector<std::uint8_t> frame) {
+  std::lock_guard lock(mutex_);
+  if (stop_ || crashed_.contains(from) || crashed_.contains(to)) return;
+  Duration latency = default_latency_;
+  if (auto it = link_latency_.find({from, to}); it != link_latency_.end()) {
+    latency = it->second;
+  }
+  queue_.push(Pending{time_add(clock_.now(), latency), next_order_++, from,
+                      to, std::move(frame)});
+  cv_.notify_one();
+}
+
+void InprocBus::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+void InprocBus::delivery_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (stop_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      continue;
+    }
+    const TimePoint now = clock_.now();
+    if (queue_.top().due > now) {
+      const auto wait_ns = queue_.top().due - now;
+      cv_.wait_for(lock, std::chrono::nanoseconds(wait_ns));
+      continue;
+    }
+    Pending item = queue_.top();
+    queue_.pop();
+    if (crashed_.contains(item.from) || crashed_.contains(item.to)) continue;
+    auto it = endpoints_.find(item.to);
+    if (it == endpoints_.end()) continue;
+    Handler handler = it->second;
+    lock.unlock();
+    handler(item.from, std::move(item.frame));
+    lock.lock();
+  }
+}
+
+}  // namespace frame

@@ -1,0 +1,89 @@
+// In-process message bus with latency injection.
+//
+// The real-thread runtime uses this bus to stand in for the paper's
+// switched LAN + cloud uplink: each directed link can be given a one-way
+// latency (e.g. 0.25 ms edge, 20+ ms cloud), and endpoints can be "crashed"
+// (fail-stop: all frames to and from them are dropped), which is how the
+// failover examples kill the Primary broker.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "net/bus.hpp"
+
+namespace frame {
+
+class InprocBus final : public Bus {
+ public:
+  InprocBus();
+  ~InprocBus() override;
+
+  InprocBus(const InprocBus&) = delete;
+  InprocBus& operator=(const InprocBus&) = delete;
+
+  /// Registers an endpoint.  The handler runs on the bus delivery thread;
+  /// it must not block for long.
+  void register_endpoint(NodeId node, Handler handler) override;
+
+  /// Sets the one-way latency for frames from `from` to `to`.  Unset links
+  /// default to `default_latency`.
+  void set_link_latency(NodeId from, NodeId to, Duration latency);
+  void set_default_latency(Duration latency);
+
+  /// Fail-stop crash: every frame to or from `node` is silently dropped
+  /// from now on, including frames already in flight.
+  void crash(NodeId node) override;
+  bool crashed(NodeId node) const override;
+
+  /// Brings a crashed node back (a restarted process re-binding its
+  /// endpoint).  Frames dropped while crashed stay dropped.
+  void restore(NodeId node) override;
+
+  /// Sends a frame; silently dropped if either end is crashed/unknown.
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) override;
+
+  /// Stops the delivery thread; pending frames are discarded.
+  void shutdown() override;
+
+ private:
+  struct Pending {
+    TimePoint due;
+    std::uint64_t order;
+    NodeId from;
+    NodeId to;
+    std::vector<std::uint8_t> frame;
+  };
+  struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.order > b.order;
+    }
+  };
+
+  void delivery_loop();
+
+  MonotonicClock clock_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_;
+  std::unordered_map<NodeId, Handler> endpoints_;
+  std::unordered_set<NodeId> crashed_;
+  std::map<std::pair<NodeId, NodeId>, Duration> link_latency_;
+  Duration default_latency_ = microseconds(250);
+  std::uint64_t next_order_ = 0;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace frame

@@ -1,0 +1,19 @@
+#include "net/message.hpp"
+
+namespace frame {
+
+Message make_test_message(TopicId topic, SeqNo seq, TimePoint created_at,
+                          std::size_t size) {
+  Message msg;
+  msg.topic = topic;
+  msg.seq = seq;
+  msg.created_at = created_at;
+  if (size > kMaxPayload) size = kMaxPayload;
+  msg.payload_size = static_cast<std::uint16_t>(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    msg.payload[i] = static_cast<std::byte>((seq + i) & 0xff);
+  }
+  return msg;
+}
+
+}  // namespace frame

@@ -1,0 +1,177 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace frame {
+
+namespace {
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- connection
+
+TcpConnection::~TcpConnection() {
+  close();
+  if (reader_.joinable()) reader_.join();
+}
+
+Result<std::unique_ptr<TcpConnection>> TcpConnection::connect(
+    const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(StatusCode::kUnavailable, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status(StatusCode::kInvalid, "bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable,
+                  "connect() failed: " + std::string(std::strerror(errno)));
+  }
+  set_nodelay(fd);
+  return std::unique_ptr<TcpConnection>(new TcpConnection(fd));
+}
+
+void TcpConnection::start(FrameHandler on_frame, CloseHandler on_close) {
+  on_frame_ = std::move(on_frame);
+  on_close_ = std::move(on_close);
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+Status TcpConnection::send_frame(const std::vector<std::uint8_t>& frame) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status(StatusCode::kClosed, "connection closed");
+  }
+  std::uint8_t header[4];
+  const auto size = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(size >> (8 * i));
+  }
+  std::lock_guard lock(send_mutex_);
+  auto send_all = [&](const std::uint8_t* data, std::size_t size_left) {
+    while (size_left > 0) {
+      const ssize_t n = ::send(fd_, data, size_left, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      data += n;
+      size_left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  if (!send_all(header, sizeof(header)) ||
+      !send_all(frame.data(), frame.size())) {
+    return Status(StatusCode::kClosed, "send failed");
+  }
+  return Status::ok();
+}
+
+void TcpConnection::close() {
+  bool expected = false;
+  if (closed_.compare_exchange_strong(expected, true)) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+  }
+}
+
+bool TcpConnection::read_exact(std::uint8_t* dst, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::recv(fd_, dst, size, 0);
+    if (n <= 0) return false;
+    dst += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void TcpConnection::reader_loop() {
+  constexpr std::uint32_t kMaxFrame = 1u << 20;
+  while (!closed_.load(std::memory_order_acquire)) {
+    std::uint8_t header[4];
+    if (!read_exact(header, sizeof(header))) break;
+    std::uint32_t size = 0;
+    for (int i = 0; i < 4; ++i) {
+      size |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+    }
+    if (size > kMaxFrame) break;
+    std::vector<std::uint8_t> frame(size);
+    if (size > 0 && !read_exact(frame.data(), size)) break;
+    if (on_frame_) on_frame_(std::move(frame));
+  }
+  closed_.store(true, std::memory_order_release);
+  if (on_close_) on_close_();
+}
+
+// ------------------------------------------------------------------ listener
+
+TcpListener::~TcpListener() {
+  close();
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::listen(
+    std::uint16_t port, AcceptHandler on_accept) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(StatusCode::kUnavailable, "socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable,
+                  "bind() failed: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable, "listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+
+  auto listener = std::unique_ptr<TcpListener>(new TcpListener());
+  listener->fd_ = fd;
+  listener->port_ = ntohs(addr.sin_port);
+  listener->on_accept_ = std::move(on_accept);
+  listener->acceptor_ = std::thread([raw = listener.get()] {
+    raw->accept_loop();
+  });
+  return listener;
+}
+
+void TcpListener::close() {
+  bool expected = false;
+  if (closed_.compare_exchange_strong(expected, true)) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+  }
+}
+
+void TcpListener::accept_loop() {
+  while (!closed_.load(std::memory_order_acquire)) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) break;
+    set_nodelay(client);
+    if (on_accept_) {
+      on_accept_(std::unique_ptr<TcpConnection>(new TcpConnection(client)));
+    } else {
+      ::close(client);
+    }
+  }
+}
+
+}  // namespace frame

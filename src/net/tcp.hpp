@@ -1,0 +1,89 @@
+// Minimal framed TCP transport (POSIX sockets).
+//
+// Frames are u32 little-endian length-prefixed byte strings carrying the
+// wire.hpp protocol.  The transport exists so the examples can run the
+// FRAME brokers across real processes on localhost; the performance study
+// itself runs in the deterministic simulator.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace frame {
+
+/// One established connection.  send_frame() is thread-safe; incoming
+/// frames are surfaced on a dedicated reader thread.
+class TcpConnection {
+ public:
+  using FrameHandler = std::function<void(std::vector<std::uint8_t> frame)>;
+  using CloseHandler = std::function<void()>;
+
+  ~TcpConnection();
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Connects to host:port.  Blocking; returns a connected instance.
+  static Result<std::unique_ptr<TcpConnection>> connect(
+      const std::string& host, std::uint16_t port);
+
+  /// Starts the reader thread.  Must be called exactly once.
+  void start(FrameHandler on_frame, CloseHandler on_close = nullptr);
+
+  Status send_frame(const std::vector<std::uint8_t>& frame);
+
+  void close();
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  friend class TcpListener;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+
+  void reader_loop();
+  bool read_exact(std::uint8_t* dst, std::size_t size);
+
+  int fd_ = -1;
+  std::mutex send_mutex_;
+  std::atomic<bool> closed_{false};
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  std::thread reader_;
+};
+
+/// Accepts connections on a local port and hands them to a callback.
+class TcpListener {
+ public:
+  using AcceptHandler =
+      std::function<void(std::unique_ptr<TcpConnection> connection)>;
+
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:port (port 0 picks an ephemeral port) and starts the
+  /// accept thread.
+  static Result<std::unique_ptr<TcpListener>> listen(std::uint16_t port,
+                                                     AcceptHandler on_accept);
+
+  std::uint16_t port() const { return port_; }
+  void close();
+
+ private:
+  TcpListener() = default;
+  void accept_loop();
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  AcceptHandler on_accept_;
+  std::atomic<bool> closed_{false};
+  std::thread acceptor_;
+};
+
+}  // namespace frame

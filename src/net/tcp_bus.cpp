@@ -1,0 +1,185 @@
+#include "net/tcp_bus.hpp"
+
+#include "common/log.hpp"
+
+namespace frame {
+
+namespace {
+
+/// Bus frames are the payload prefixed with the 4-byte LE sender id.
+std::vector<std::uint8_t> wrap(NodeId from,
+                               const std::vector<std::uint8_t>& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(frame.size() + 4);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(from >> (8 * i)));
+  }
+  out.insert(out.end(), frame.begin(), frame.end());
+  return out;
+}
+
+bool unwrap(std::vector<std::uint8_t>& frame, NodeId& from) {
+  if (frame.size() < 4) return false;
+  from = 0;
+  for (int i = 0; i < 4; ++i) {
+    from |= static_cast<NodeId>(frame[i]) << (8 * i);
+  }
+  frame.erase(frame.begin(), frame.begin() + 4);
+  return true;
+}
+
+}  // namespace
+
+TcpBus::~TcpBus() { shutdown(); }
+
+Status TcpBus::open_listener(NodeId node) {
+  // Called with mutex_ held.
+  auto listener = TcpListener::listen(
+      0, [this, node](std::unique_ptr<TcpConnection> conn) {
+        TcpConnection* raw = conn.get();
+        raw->start([this, node](std::vector<std::uint8_t> frame) {
+          NodeId from = kInvalidNode;
+          if (!unwrap(frame, from)) return;
+          Handler handler;
+          {
+            std::lock_guard lock(mutex_);
+            auto it = endpoints_.find(node);
+            if (it == endpoints_.end() || it->second.crashed) return;
+            auto sender = endpoints_.find(from);
+            if (sender != endpoints_.end() && sender->second.crashed) return;
+            handler = it->second.handler;
+          }
+          if (handler) handler(from, std::move(frame));
+        });
+        std::lock_guard lock(mutex_);
+        auto it = endpoints_.find(node);
+        if (it == endpoints_.end() || it->second.crashed) {
+          raw->close();
+          return;
+        }
+        it->second.in.push_back(std::move(conn));
+      });
+  if (!listener.is_ok()) return listener.status();
+  Endpoint& endpoint = endpoints_[node];
+  endpoint.listener = listener.take();
+  endpoint.port = endpoint.listener->port();
+  endpoint.crashed = false;
+  return Status::ok();
+}
+
+void TcpBus::register_endpoint(NodeId node, Handler handler) {
+  std::lock_guard lock(mutex_);
+  endpoints_[node].handler = std::move(handler);
+  if (!endpoints_[node].listener) {
+    const Status status = open_listener(node);
+    if (!status.is_ok()) {
+      FRAME_LOG_ERROR("TcpBus: cannot open listener for node %u: %s", node,
+                      status.to_string().c_str());
+    }
+  }
+}
+
+TcpConnection* TcpBus::outgoing_locked(NodeId from, NodeId to) {
+  Endpoint& src = endpoints_[from];
+  if (auto it = src.out.find(to); it != src.out.end() && !it->second->closed()) {
+    return it->second.get();
+  }
+  const auto dst = endpoints_.find(to);
+  if (dst == endpoints_.end() || dst->second.crashed ||
+      dst->second.port == 0) {
+    return nullptr;
+  }
+  auto conn = TcpConnection::connect("127.0.0.1", dst->second.port);
+  if (!conn.is_ok()) return nullptr;
+  TcpConnection* raw = conn.value().get();
+  raw->start([](std::vector<std::uint8_t>) {});  // outgoing is send-only
+  src.out[to] = conn.take();
+  return raw;
+}
+
+void TcpBus::send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) {
+  TcpConnection* conn = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) return;
+    const auto src = endpoints_.find(from);
+    if (src == endpoints_.end() || src->second.crashed) return;
+    const auto dst = endpoints_.find(to);
+    if (dst == endpoints_.end() || dst->second.crashed) return;
+    conn = outgoing_locked(from, to);
+  }
+  if (conn != nullptr) (void)conn->send_frame(wrap(from, frame));
+}
+
+void TcpBus::crash(NodeId node) {
+  // Collect doomed resources under the lock but destroy them outside it:
+  // destroying a TcpConnection joins its reader thread, and an incoming
+  // reader may itself be waiting on mutex_.
+  std::unique_ptr<TcpListener> listener;
+  std::unordered_map<NodeId, std::unique_ptr<TcpConnection>> out;
+  std::vector<std::unique_ptr<TcpConnection>> in;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = endpoints_.find(node);
+    if (it == endpoints_.end()) return;
+    Endpoint& endpoint = it->second;
+    endpoint.crashed = true;
+    listener = std::move(endpoint.listener);
+    endpoint.port = 0;
+    out.swap(endpoint.out);
+    in.swap(endpoint.in);
+    // Peers' cached connections to this node will fail on the next send
+    // and be re-established (or dropped) lazily.
+  }
+  if (listener) listener->close();
+  for (auto& [peer, conn] : out) conn->close();
+  for (auto& conn : in) conn->close();
+}
+
+void TcpBus::restore(NodeId node) {
+  std::lock_guard lock(mutex_);
+  auto it = endpoints_.find(node);
+  if (it == endpoints_.end() || !it->second.crashed) return;
+  const Status status = open_listener(node);
+  if (!status.is_ok()) {
+    FRAME_LOG_ERROR("TcpBus: restore of node %u failed: %s", node,
+                    status.to_string().c_str());
+  }
+  // Stale outgoing connections other nodes hold toward the old listener
+  // are closed; they will reconnect to the new port lazily.
+  for (auto& [id, endpoint] : endpoints_) {
+    if (auto out = endpoint.out.find(node); out != endpoint.out.end()) {
+      out->second->close();
+      endpoint.out.erase(out);
+    }
+  }
+}
+
+bool TcpBus::crashed(NodeId node) const {
+  std::lock_guard lock(mutex_);
+  const auto it = endpoints_.find(node);
+  return it != endpoints_.end() && it->second.crashed;
+}
+
+std::uint16_t TcpBus::port_of(NodeId node) const {
+  std::lock_guard lock(mutex_);
+  const auto it = endpoints_.find(node);
+  return it == endpoints_.end() ? 0 : it->second.port;
+}
+
+void TcpBus::shutdown() {
+  std::unordered_map<NodeId, Endpoint> doomed;
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    doomed.swap(endpoints_);
+  }
+  for (auto& [node, endpoint] : doomed) {
+    if (endpoint.listener) endpoint.listener->close();
+    for (auto& [peer, conn] : endpoint.out) conn->close();
+    for (auto& conn : endpoint.in) conn->close();
+  }
+}
+
+}  // namespace frame

@@ -1,0 +1,64 @@
+// Bus implementation over real loopback TCP sockets.
+//
+// Every registered node gets its own TCP listener on 127.0.0.1; outgoing
+// links are established lazily and cached.  Each bus-level frame is the
+// payload prefixed with the 4-byte sender NodeId, so receivers learn who
+// is talking on an accepted connection.  Crashing a node closes its
+// listener and every connection touching it (fail-stop); restore() binds a
+// fresh listener.
+//
+// Unlike InprocBus there is no latency shaping — frames travel at real
+// loopback speed.  Use it to run the FRAME deployment in its real
+// multi-socket shape; use InprocBus to model WAN/LAN latency spreads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/bus.hpp"
+#include "net/tcp.hpp"
+
+namespace frame {
+
+class TcpBus final : public Bus {
+ public:
+  TcpBus() = default;
+  ~TcpBus() override;
+
+  TcpBus(const TcpBus&) = delete;
+  TcpBus& operator=(const TcpBus&) = delete;
+
+  void register_endpoint(NodeId node, Handler handler) override;
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) override;
+  void crash(NodeId node) override;
+  void restore(NodeId node) override;
+  bool crashed(NodeId node) const override;
+  void shutdown() override;
+
+  /// The TCP port a node listens on (0 if unknown/crashed); for tests.
+  std::uint16_t port_of(NodeId node) const;
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    std::unique_ptr<TcpListener> listener;
+    std::uint16_t port = 0;
+    bool crashed = false;
+    /// Outgoing connections keyed by destination node.
+    std::unordered_map<NodeId, std::unique_ptr<TcpConnection>> out;
+    /// Accepted (incoming) connections, kept alive until crash/shutdown.
+    std::vector<std::unique_ptr<TcpConnection>> in;
+  };
+
+  Status open_listener(NodeId node);
+  TcpConnection* outgoing_locked(NodeId from, NodeId to);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<NodeId, Endpoint> endpoints_;
+  bool shutdown_ = false;
+};
+
+}  // namespace frame

@@ -1,0 +1,132 @@
+#include "net/wire.hpp"
+
+#include "net/codec.hpp"
+
+namespace frame {
+
+namespace {
+
+constexpr std::uint8_t kMessageFlagRecovered = 0x1;
+
+bool type_carries_message(WireType type) {
+  switch (type) {
+    case WireType::kPublish:
+    case WireType::kDeliver:
+    case WireType::kReplicate:
+    case WireType::kResend:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message_frame(WireType type,
+                                               const Message& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(40 + msg.payload_size);
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(msg.topic);
+  w.u64(msg.seq);
+  w.i64(msg.created_at);
+  w.i64(msg.broker_arrival);
+  w.i64(msg.dispatched_at);
+  w.u8(msg.recovered ? kMessageFlagRecovered : 0);
+  w.blob16(msg.payload.data(), msg.payload_size);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_prune_frame(const PruneFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(16);
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(WireType::kPrune));
+  w.u32(frame.topic);
+  w.u64(frame.seq);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_subscribe_frame(const SubscribeFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(12);
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(WireType::kSubscribe));
+  w.u32(frame.subscriber);
+  w.u32(frame.topic);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_hello_frame(const HelloFrame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8);
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(WireType::kHello));
+  w.u32(frame.node);
+  w.u8(frame.role);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_control_frame(WireType type) {
+  return {static_cast<std::uint8_t>(type)};
+}
+
+std::optional<WireType> peek_type(std::span<const std::uint8_t> buf) {
+  if (buf.empty()) return std::nullopt;
+  return static_cast<WireType>(buf[0]);
+}
+
+std::optional<Message> decode_message_frame(std::span<const std::uint8_t> buf) {
+  Reader r(buf);
+  const auto type = static_cast<WireType>(r.u8());
+  if (!type_carries_message(type)) return std::nullopt;
+  Message msg;
+  msg.topic = r.u32();
+  msg.seq = r.u64();
+  msg.created_at = r.i64();
+  msg.broker_arrival = r.i64();
+  msg.dispatched_at = r.i64();
+  msg.recovered = (r.u8() & kMessageFlagRecovered) != 0;
+  const auto payload = r.blob16();
+  if (!r.ok() || payload.size() > kMaxPayload) return std::nullopt;
+  msg.set_payload(payload.data(), payload.size());
+  return msg;
+}
+
+std::optional<PruneFrame> decode_prune_frame(
+    std::span<const std::uint8_t> buf) {
+  Reader r(buf);
+  if (static_cast<WireType>(r.u8()) != WireType::kPrune) return std::nullopt;
+  PruneFrame frame;
+  frame.topic = r.u32();
+  frame.seq = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return frame;
+}
+
+std::optional<SubscribeFrame> decode_subscribe_frame(
+    std::span<const std::uint8_t> buf) {
+  Reader r(buf);
+  if (static_cast<WireType>(r.u8()) != WireType::kSubscribe) {
+    return std::nullopt;
+  }
+  SubscribeFrame frame;
+  frame.subscriber = r.u32();
+  frame.topic = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return frame;
+}
+
+std::optional<HelloFrame> decode_hello_frame(
+    std::span<const std::uint8_t> buf) {
+  Reader r(buf);
+  if (static_cast<WireType>(r.u8()) != WireType::kHello) return std::nullopt;
+  HelloFrame frame;
+  frame.node = r.u32();
+  frame.role = r.u8();
+  if (!r.ok()) return std::nullopt;
+  return frame;
+}
+
+}  // namespace frame

@@ -1,0 +1,63 @@
+// Wire protocol for broker/publisher/subscriber traffic.
+//
+// Every frame is a WireType tag plus a type-specific body.  The same frames
+// flow over the in-process bus and the TCP transport; the simulator passes
+// typed structs directly and never serialises.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace frame {
+
+enum class WireType : std::uint8_t {
+  kPublish = 1,    ///< publisher -> Primary: new message
+  kDeliver = 2,    ///< broker -> subscriber: message dispatch
+  kReplicate = 3,  ///< Primary -> Backup: message replica
+  kPrune = 4,      ///< Primary -> Backup: set Discard for (topic, seq)
+  kResend = 5,     ///< publisher -> Backup: retention resend after failover
+  kPoll = 6,       ///< Backup -> Primary: liveness probe
+  kPollReply = 7,  ///< Primary -> Backup: liveness ack
+  kSubscribe = 8,  ///< subscriber -> broker: topic subscription
+  kHello = 9,      ///< endpoint identification on connect
+};
+
+struct PruneFrame {
+  TopicId topic = kInvalidTopic;
+  SeqNo seq = 0;
+};
+
+struct SubscribeFrame {
+  NodeId subscriber = kInvalidNode;
+  TopicId topic = kInvalidTopic;
+};
+
+struct HelloFrame {
+  NodeId node = kInvalidNode;
+  std::uint8_t role = 0;  ///< broker::NodeRole value
+};
+
+/// Encodes frames; the WireType tag is the first byte of the buffer.
+std::vector<std::uint8_t> encode_message_frame(WireType type,
+                                               const Message& msg);
+std::vector<std::uint8_t> encode_prune_frame(const PruneFrame& frame);
+std::vector<std::uint8_t> encode_subscribe_frame(const SubscribeFrame& frame);
+std::vector<std::uint8_t> encode_hello_frame(const HelloFrame& frame);
+std::vector<std::uint8_t> encode_control_frame(WireType type);
+
+/// Peeks the frame type; nullopt on an empty buffer.
+std::optional<WireType> peek_type(std::span<const std::uint8_t> buf);
+
+/// Decoders return nullopt on malformed input.
+std::optional<Message> decode_message_frame(std::span<const std::uint8_t> buf);
+std::optional<PruneFrame> decode_prune_frame(std::span<const std::uint8_t> buf);
+std::optional<SubscribeFrame> decode_subscribe_frame(
+    std::span<const std::uint8_t> buf);
+std::optional<HelloFrame> decode_hello_frame(std::span<const std::uint8_t> buf);
+
+}  // namespace frame

@@ -1,0 +1,306 @@
+#include "runtime/runtime_broker.hpp"
+
+#include "broker/failure_detector.hpp"
+#include "common/log.hpp"
+
+namespace frame::runtime {
+
+namespace {
+constexpr eventsvc::EventType kMessageEventType = 1;
+}
+
+RuntimeBroker::RuntimeBroker(Bus& bus, const MonotonicClock& clock,
+                             Options options, std::vector<TopicSpec> topics,
+                             TimingParams params)
+    : bus_(bus),
+      clock_(clock),
+      options_(options),
+      topics_(std::move(topics)),
+      params_(params),
+      channel_(std::make_unique<eventsvc::SynchronousDispatcher>()) {
+  if (options_.start_as_primary) {
+    primary_ = std::make_unique<PrimaryEngine>(options_.broker, topics_,
+                                               params_);
+    is_primary_.store(true, std::memory_order_release);
+    has_peer_.store(true, std::memory_order_release);
+  } else {
+    backup_ = std::make_unique<BackupEngine>(options_.broker);
+    backup_->configure(topics_.size());
+  }
+
+  // Fig. 5b wiring: supplier pushes land in FRAME's Message Proxy.
+  channel_.set_intake_hook([this](const eventsvc::Event& event) {
+    if (auto msg = decode_message_frame(event.payload)) {
+      on_publish_frame(*msg);
+    }
+  });
+
+  bus_.register_endpoint(options_.node,
+                         [this](NodeId from, std::vector<std::uint8_t> frame) {
+                           on_frame(from, std::move(frame));
+                         });
+}
+
+RuntimeBroker::~RuntimeBroker() { stop(); }
+
+void RuntimeBroker::subscribe(TopicId topic, NodeId subscriber) {
+  std::lock_guard lock(mutex_);
+  subscriptions_.emplace_back(topic, subscriber);
+  if (primary_) primary_->subscribe(topic, subscriber);
+  // Consumer proxy: pushing to it sends the event payload over the bus.
+  auto& proxy = channel_.obtain_push_supplier(subscriber);
+  if (!proxy.connected()) {
+    proxy.connect([this, subscriber](const eventsvc::Event& event) {
+      bus_.send(options_.node, subscriber, event.payload);
+    });
+  }
+}
+
+void RuntimeBroker::start() {
+  stop_.store(false, std::memory_order_release);
+  last_peer_reply_ = clock_.now();
+  for (std::size_t i = 0; i < options_.delivery_threads; ++i) {
+    delivery_pool_.emplace_back([this] { delivery_loop(); });
+  }
+  if (!options_.start_as_primary) {
+    detector_ = std::thread([this] { detector_loop(); });
+  }
+}
+
+void RuntimeBroker::stop() {
+  stop_.store(true, std::memory_order_release);
+  job_cv_.notify_all();
+  for (auto& worker : delivery_pool_) {
+    if (worker.joinable()) worker.join();
+  }
+  delivery_pool_.clear();
+  if (detector_.joinable()) detector_.join();
+}
+
+void RuntimeBroker::crash() {
+  crashed_.store(true, std::memory_order_release);
+  bus_.crash(options_.node);
+  job_cv_.notify_all();
+}
+
+PrimaryEngine::Stats RuntimeBroker::primary_stats() const {
+  std::lock_guard lock(mutex_);
+  return primary_ ? primary_->stats() : PrimaryEngine::Stats{};
+}
+
+BackupEngine::Stats RuntimeBroker::backup_stats() const {
+  std::lock_guard lock(mutex_);
+  return backup_ ? backup_->stats() : BackupEngine::Stats{};
+}
+
+void RuntimeBroker::send_message(NodeId to, WireType type,
+                                 const Message& msg) {
+  bus_.send(options_.node, to, encode_message_frame(type, msg));
+}
+
+void RuntimeBroker::on_frame(NodeId from, std::vector<std::uint8_t> frame) {
+  if (crashed_.load(std::memory_order_acquire) ||
+      stop_.load(std::memory_order_acquire)) {
+    return;
+  }
+  const auto type = peek_type(frame);
+  if (!type.has_value()) return;
+  switch (*type) {
+    case WireType::kPublish:
+    case WireType::kResend: {
+      // Route through the event channel's Supplier Proxy so the Fig. 5b
+      // integration surface (push hook) is exercised for real.
+      eventsvc::Event event;
+      event.header.source = from;
+      event.header.type = kMessageEventType;
+      event.header.creation_time = clock_.now();
+      event.payload = std::move(frame);
+      channel_.obtain_push_consumer(from).push(event);
+      break;
+    }
+    case WireType::kReplicate: {
+      if (auto msg = decode_message_frame(frame)) {
+        std::lock_guard lock(mutex_);
+        if (backup_) backup_->on_replica(*msg, clock_.now());
+      }
+      break;
+    }
+    case WireType::kPrune: {
+      if (auto prune = decode_prune_frame(frame)) {
+        std::lock_guard lock(mutex_);
+        if (backup_) backup_->on_prune(prune->topic, prune->seq);
+      }
+      break;
+    }
+    case WireType::kPoll: {
+      bus_.send(options_.node, from,
+                encode_control_frame(WireType::kPollReply));
+      break;
+    }
+    case WireType::kPollReply: {
+      std::lock_guard lock(mutex_);
+      last_peer_reply_ = clock_.now();
+      break;
+    }
+    case WireType::kSubscribe: {
+      if (auto sub = decode_subscribe_frame(frame)) {
+        subscribe(sub->topic, sub->subscriber);
+      }
+      break;
+    }
+    case WireType::kHello: {
+      const auto hello = decode_hello_frame(frame);
+      if (!hello.has_value() ||
+          hello->role != static_cast<std::uint8_t>(NodeRole::kBackupBroker)) {
+        break;
+      }
+      // A fresh Backup joined: ship the sync set and resume replication.
+      std::vector<Message> sync;
+      {
+        std::lock_guard lock(mutex_);
+        if (primary_) sync = primary_->backup_sync_set();
+        options_.peer = hello->node;
+      }
+      for (const auto& msg : sync) {
+        send_message(hello->node, WireType::kReplicate, msg);
+      }
+      has_peer_.store(true, std::memory_order_release);
+      FRAME_LOG_INFO("broker %u: backup %u joined, synced %zu copies",
+                     options_.node, hello->node, sync.size());
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void RuntimeBroker::on_publish_frame(const Message& msg) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!primary_) {
+      // Not promoted yet: a redirected publisher raced ahead of the
+      // detector.  Store straight into the Backup Buffer so the copy is
+      // part of the recovery set.
+      if (backup_) backup_->on_replica(msg, clock_.now());
+      return;
+    }
+    primary_->on_publish(msg, clock_.now(),
+                         has_peer_.load(std::memory_order_acquire));
+  }
+  job_cv_.notify_one();
+}
+
+void RuntimeBroker::delivery_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    job_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_relaxed) ||
+             crashed_.load(std::memory_order_relaxed) ||
+             (primary_ && primary_->has_jobs());
+    });
+    if (stop_.load(std::memory_order_relaxed) ||
+        crashed_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    auto job = primary_->next_job();
+    if (!job.has_value()) continue;
+
+    if (job->kind == JobKind::kDispatch) {
+      DispatchEffect effect = primary_->execute_dispatch(*job);
+      const bool prune = effect.prune_backup &&
+                         options_.peer != kInvalidNode &&
+                         has_peer_.load(std::memory_order_acquire);
+      lock.unlock();
+      if (effect.executed) {
+        Message msg = effect.msg;
+        msg.dispatched_at = clock_.now();
+        const auto frame = encode_message_frame(WireType::kDeliver, msg);
+        for (const NodeId subscriber : effect.subscribers) {
+          eventsvc::Event event;
+          event.header.source = options_.node;
+          event.header.type = kMessageEventType;
+          event.payload = frame;
+          channel_.deliver_to(subscriber, event);
+        }
+        if (prune) {
+          bus_.send(options_.node, options_.peer,
+                    encode_prune_frame(PruneFrame{job->topic, job->seq}));
+        }
+      }
+      lock.lock();
+    } else {
+      ReplicateEffect effect = primary_->execute_replicate(*job);
+      lock.unlock();
+      if (effect.executed && options_.peer != kInvalidNode &&
+          has_peer_.load(std::memory_order_acquire)) {
+        send_message(options_.peer, WireType::kReplicate, effect.msg);
+      }
+      lock.lock();
+    }
+  }
+}
+
+void RuntimeBroker::detector_loop() {
+  PollingFailureDetector detector(options_.poll_period,
+                                  options_.poll_miss_threshold);
+  detector.start(clock_.now());
+  while (!stop_.load(std::memory_order_acquire) &&
+         !crashed_.load(std::memory_order_acquire)) {
+    bus_.send(options_.node, options_.peer,
+              encode_control_frame(WireType::kPoll));
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.poll_period));
+    {
+      std::lock_guard lock(mutex_);
+      detector.on_reply(last_peer_reply_);
+    }
+    if (detector.suspected(clock_.now())) {
+      promote();
+      return;
+    }
+  }
+}
+
+void RuntimeBroker::promote() {
+  {
+    std::lock_guard lock(mutex_);
+    if (primary_ || !backup_) return;
+    FRAME_LOG_INFO("broker %u: promoting to Primary", options_.node);
+    primary_ = std::make_unique<PrimaryEngine>(options_.broker, topics_,
+                                               params_);
+    for (const auto& [topic, subscriber] : subscriptions_) {
+      primary_->subscribe(topic, subscriber);
+    }
+    // Recovery: dispatch the pruned Backup Buffer set first (Section IV-A).
+    const TimePoint now = clock_.now();
+    for (const auto& msg : backup_->promote()) {
+      primary_->on_recovery_copy(msg, now);
+    }
+    has_peer_.store(false, std::memory_order_release);
+    is_primary_.store(true, std::memory_order_release);
+  }
+  job_cv_.notify_all();
+}
+
+void RuntimeBroker::restart_as_backup(NodeId new_primary) {
+  stop();  // join any threads from the previous life
+  {
+    std::lock_guard lock(mutex_);
+    primary_.reset();
+    backup_ = std::make_unique<BackupEngine>(options_.broker);
+    backup_->configure(topics_.size());
+    options_.peer = new_primary;
+    options_.start_as_primary = false;
+  }
+  is_primary_.store(false, std::memory_order_release);
+  has_peer_.store(false, std::memory_order_release);
+  crashed_.store(false, std::memory_order_release);
+  bus_.restore(options_.node);
+  start();
+  bus_.send(options_.node, new_primary,
+            encode_hello_frame(HelloFrame{
+                options_.node,
+                static_cast<std::uint8_t>(NodeRole::kBackupBroker)}));
+}
+
+}  // namespace frame::runtime

@@ -1,0 +1,120 @@
+// Real-thread broker hosts over the in-process bus.
+//
+// This is the deployment-shaped counterpart of the simulator: the same
+// PrimaryEngine / BackupEngine state machines, driven by actual threads and
+// the monotonic clock, wired into a TAO-style event channel (Fig. 5b): the
+// Supplier Proxies' push hook feeds FRAME's Message Proxy, and FRAME's
+// Message Delivery pushes out through the Consumer Proxies.
+//
+// Threading: the engines are single-threaded state machines, so all engine
+// access is serialised by one mutex; the Dispatcher/Replicator pool pops
+// jobs under the lock and performs network sends outside it, mirroring the
+// paper's pool of generic threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "broker/backup_engine.hpp"
+#include "broker/config.hpp"
+#include "broker/primary_engine.hpp"
+#include "eventsvc/event_channel.hpp"
+#include "net/bus.hpp"
+#include "net/wire.hpp"
+
+namespace frame::runtime {
+
+enum class NodeRole : std::uint8_t {
+  kPublisher = 0,
+  kPrimaryBroker = 1,
+  kBackupBroker = 2,
+  kSubscriber = 3,
+};
+
+/// A broker host.  Starts as Primary or Backup; a Backup promotes itself
+/// when its failure detector suspects the Primary.
+class RuntimeBroker {
+ public:
+  struct Options {
+    NodeId node = kInvalidNode;
+    NodeId peer = kInvalidNode;           ///< the other broker
+    bool start_as_primary = false;
+    BrokerConfig broker;
+    std::size_t delivery_threads = 3;     ///< paper: 3x cores; scaled down
+    Duration poll_period = milliseconds(10);
+    int poll_miss_threshold = 3;
+  };
+
+  RuntimeBroker(Bus& bus, const MonotonicClock& clock, Options options,
+                std::vector<TopicSpec> topics, TimingParams params);
+  ~RuntimeBroker();
+
+  RuntimeBroker(const RuntimeBroker&) = delete;
+  RuntimeBroker& operator=(const RuntimeBroker&) = delete;
+
+  /// Registers a subscriber for a topic (applies now and after promotion).
+  void subscribe(TopicId topic, NodeId subscriber);
+
+  void start();
+  void stop();
+
+  /// Fail-stop crash: stops serving immediately (also crash the node on the
+  /// bus so in-flight traffic is dropped).
+  void crash();
+
+  /// Backup reintegration: restarts this (crashed) broker as the new Backup
+  /// of `new_primary`.  It announces itself with a Hello; the serving
+  /// Primary replies with a state sync of its undispatched replicating
+  /// copies and resumes replication.  Tolerates a subsequent crash of the
+  /// new Primary.
+  void restart_as_backup(NodeId new_primary);
+
+  bool is_primary() const { return is_primary_.load(std::memory_order_acquire); }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  PrimaryEngine::Stats primary_stats() const;
+  BackupEngine::Stats backup_stats() const;
+
+  /// The event channel, exposed for tests that want to observe the Fig. 5b
+  /// integration.
+  eventsvc::EventChannel& channel() { return channel_; }
+
+ private:
+  void on_frame(NodeId from, std::vector<std::uint8_t> frame);
+  void on_publish_frame(const Message& msg);
+  void delivery_loop();
+  void detector_loop();
+  void promote();
+  void send_message(NodeId to, WireType type, const Message& msg);
+
+  Bus& bus_;
+  const MonotonicClock& clock_;
+  Options options_;
+  std::vector<TopicSpec> topics_;
+  TimingParams params_;
+
+  eventsvc::EventChannel channel_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable job_cv_;
+  std::unique_ptr<PrimaryEngine> primary_;
+  std::unique_ptr<BackupEngine> backup_;
+  std::vector<std::pair<TopicId, NodeId>> subscriptions_;
+
+  std::atomic<bool> is_primary_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> stop_{false};
+  /// True while a live Backup peer exists (replication + prunes flow).
+  std::atomic<bool> has_peer_{false};
+  TimePoint last_peer_reply_ = 0;
+
+  std::vector<std::thread> delivery_pool_;
+  std::thread detector_;
+};
+
+}  // namespace frame::runtime

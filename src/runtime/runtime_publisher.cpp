@@ -1,0 +1,96 @@
+#include "runtime/runtime_publisher.hpp"
+
+#include "broker/failure_detector.hpp"
+#include "common/log.hpp"
+
+namespace frame::runtime {
+
+RuntimePublisher::RuntimePublisher(Bus& bus, const MonotonicClock& clock,
+                                   Options options,
+                                   std::vector<TopicSpec> topics,
+                                   Duration period)
+    : bus_(bus), clock_(clock), options_(options) {
+  engine_ = std::make_unique<PublisherEngine>(options_.node, std::move(topics),
+                                              period);
+  target_.store(options_.primary, std::memory_order_release);
+  bus_.register_endpoint(options_.node,
+                         [this](NodeId from, std::vector<std::uint8_t> frame) {
+                           on_frame(from, std::move(frame));
+                         });
+}
+
+RuntimePublisher::~RuntimePublisher() { stop(); }
+
+void RuntimePublisher::start() {
+  stop_.store(false, std::memory_order_release);
+  last_target_reply_.store(clock_.now(), std::memory_order_release);
+  worker_ = std::thread([this] { run_loop(); });
+}
+
+void RuntimePublisher::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (worker_.joinable()) worker_.join();
+}
+
+void RuntimePublisher::on_frame(NodeId from, std::vector<std::uint8_t> frame) {
+  if (from == target_.load(std::memory_order_acquire) &&
+      peek_type(frame) == WireType::kPollReply) {
+    last_target_reply_.store(clock_.now(), std::memory_order_release);
+  }
+}
+
+void RuntimePublisher::run_loop() {
+  PollingFailureDetector detector(options_.poll_period,
+                                  options_.poll_miss_threshold);
+  detector.start(clock_.now());
+
+  const Duration period = engine_->period();
+  TimePoint next_batch = clock_.now();
+  TimePoint next_poll = clock_.now();
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    const TimePoint now = clock_.now();
+    const NodeId target = target_.load(std::memory_order_acquire);
+
+    if (now >= next_poll) {
+      bus_.send(options_.node, target,
+                encode_control_frame(WireType::kPoll));
+      next_poll = now + options_.poll_period;
+    }
+    detector.on_reply(last_target_reply_.load(std::memory_order_acquire));
+    if (detector.suspected(now)) {
+      // Fail-over (Section III-B): redirect to the other broker and
+      // re-send all retained messages.  Works for repeated failures as
+      // long as a reintegrated Backup exists.
+      const NodeId next_target =
+          target == options_.primary ? options_.backup : options_.primary;
+      FRAME_LOG_INFO("publisher %u: failing over to broker %u",
+                     options_.node, next_target);
+      for (const auto& msg : engine_->failover_resend()) {
+        bus_.send(options_.node, next_target,
+                  encode_message_frame(WireType::kResend, msg));
+      }
+      target_.store(next_target, std::memory_order_release);
+      failovers_.fetch_add(1, std::memory_order_acq_rel);
+      last_target_reply_.store(now, std::memory_order_release);
+      detector.start(now);
+    }
+
+    if (now >= next_batch) {
+      for (const auto& msg : engine_->create_batch(now)) {
+        bus_.send(options_.node, target_.load(std::memory_order_acquire),
+                  encode_message_frame(WireType::kPublish, msg));
+      }
+      next_batch += period;
+    }
+
+    const TimePoint wake = std::min(next_batch, next_poll);
+    const TimePoint current = clock_.now();
+    if (wake > current) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          std::min<Duration>(wake - current, milliseconds(2))));
+    }
+  }
+}
+
+}  // namespace frame::runtime

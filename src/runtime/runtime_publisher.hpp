@@ -1,0 +1,73 @@
+// Real-thread publisher proxy: periodic batch creation, retention, crash
+// detection (its fail-over time x) and retained-message resend to the
+// Backup, as in Section III-B.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "broker/publisher_engine.hpp"
+#include "common/time.hpp"
+#include "net/bus.hpp"
+#include "net/wire.hpp"
+
+namespace frame::runtime {
+
+class RuntimePublisher {
+ public:
+  struct Options {
+    NodeId node = kInvalidNode;
+    NodeId primary = kInvalidNode;
+    NodeId backup = kInvalidNode;
+    Duration poll_period = milliseconds(10);
+    int poll_miss_threshold = 3;
+  };
+
+  RuntimePublisher(Bus& bus, const MonotonicClock& clock,
+                   Options options, std::vector<TopicSpec> topics,
+                   Duration period);
+  ~RuntimePublisher();
+
+  RuntimePublisher(const RuntimePublisher&) = delete;
+  RuntimePublisher& operator=(const RuntimePublisher&) = delete;
+
+  void start();
+  void stop();
+
+  /// True once the publisher no longer targets the original Primary.
+  bool failed_over() const {
+    return target_.load(std::memory_order_acquire) != options_.primary;
+  }
+
+  /// Broker currently receiving this publisher's traffic.
+  NodeId current_target() const {
+    return target_.load(std::memory_order_acquire);
+  }
+
+  /// Number of fail-overs performed (second broker crash -> 2).
+  int failover_count() const {
+    return failovers_.load(std::memory_order_acquire);
+  }
+  std::uint64_t messages_created() const {
+    return engine_->messages_created();
+  }
+  SeqNo last_seq(TopicId topic) const { return engine_->last_seq(topic); }
+
+ private:
+  void run_loop();
+  void on_frame(NodeId from, std::vector<std::uint8_t> frame);
+
+  Bus& bus_;
+  const MonotonicClock& clock_;
+  Options options_;
+  std::unique_ptr<PublisherEngine> engine_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<NodeId> target_{kInvalidNode};
+  std::atomic<int> failovers_{0};
+  std::atomic<TimePoint> last_target_reply_{0};
+  std::thread worker_;
+};
+
+}  // namespace frame::runtime

@@ -1,0 +1,79 @@
+// Real-thread subscriber host: receives kDeliver frames from whichever
+// broker is currently Primary and feeds the shared SubscriberEngine
+// accounting (dedup, loss runs, deadline checks).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "broker/subscriber_engine.hpp"
+#include "common/time.hpp"
+#include "net/bus.hpp"
+#include "net/wire.hpp"
+
+namespace frame::runtime {
+
+class RuntimeSubscriber {
+ public:
+  RuntimeSubscriber(Bus& bus, const MonotonicClock& clock, NodeId node)
+      : clock_(clock), engine_(std::make_unique<SubscriberEngine>(node)) {
+    bus.register_endpoint(node, [this](NodeId, std::vector<std::uint8_t> f) {
+      on_frame(std::move(f));
+    });
+  }
+
+  void add_topic(const TopicSpec& spec) {
+    std::lock_guard lock(mutex_);
+    engine_->add_topic(spec);
+  }
+
+  void watch(TopicId topic) {
+    std::lock_guard lock(mutex_);
+    engine_->watch(topic);
+  }
+
+  std::uint64_t unique_count(TopicId topic) const {
+    std::lock_guard lock(mutex_);
+    return engine_->unique_count(topic);
+  }
+
+  std::uint64_t total_unique() const {
+    std::lock_guard lock(mutex_);
+    return engine_->total_unique();
+  }
+
+  std::uint64_t total_duplicates() const {
+    std::lock_guard lock(mutex_);
+    return engine_->total_duplicates();
+  }
+
+  LossStats loss_stats(TopicId topic, SeqNo first, SeqNo last) const {
+    std::lock_guard lock(mutex_);
+    return engine_->loss_stats(topic, first, last);
+  }
+
+  std::vector<TraceSample> trace(TopicId topic) const {
+    std::lock_guard lock(mutex_);
+    return engine_->trace(topic);
+  }
+
+  bool delivered(TopicId topic, SeqNo seq) const {
+    std::lock_guard lock(mutex_);
+    return engine_->delivered(topic, seq);
+  }
+
+ private:
+  void on_frame(std::vector<std::uint8_t> frame) {
+    if (peek_type(frame) != WireType::kDeliver) return;
+    if (auto msg = decode_message_frame(frame)) {
+      std::lock_guard lock(mutex_);
+      engine_->on_deliver(*msg, clock_.now());
+    }
+  }
+
+  const MonotonicClock& clock_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<SubscriberEngine> engine_;
+};
+
+}  // namespace frame::runtime

@@ -1,0 +1,160 @@
+#include "runtime/system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace frame::runtime {
+
+EdgeSystem::EdgeSystem(SystemOptions options, std::vector<ProxyGroup> proxies)
+    : options_(options) {
+  if (options_.transport == Transport::kInproc) {
+    auto inproc = std::make_unique<InprocBus>();
+    inproc_ = inproc.get();
+    bus_ = std::move(inproc);
+  } else {
+    bus_ = std::make_unique<TcpBus>();
+  }
+  // Collect the dense topic table.
+  for (const auto& proxy : proxies) {
+    for (const auto& spec : proxy.topics) topics_.push_back(spec);
+  }
+  std::sort(topics_.begin(), topics_.end(),
+            [](const TopicSpec& a, const TopicSpec& b) { return a.id < b.id; });
+  for (std::size_t i = 0; i < topics_.size(); ++i) {
+    assert(topics_[i].id == static_cast<TopicId>(i) &&
+           "topic ids must be dense 0..n-1");
+  }
+
+  // Link latencies (Fig. 6: LAN switch + cloud uplink).  Only the
+  // in-process transport shapes latency; TCP runs at loopback speed.
+  const auto wire = [&](NodeId a, NodeId b, Duration latency) {
+    if (inproc_ == nullptr) return;
+    inproc_->set_link_latency(a, b, latency);
+    inproc_->set_link_latency(b, a, latency);
+  };
+  if (inproc_ != nullptr) {
+    inproc_->set_default_latency(options_.edge_latency);
+  }
+  wire(nodes_.primary, nodes_.backup, options_.backup_latency);
+  wire(nodes_.primary, nodes_.cloud_subscriber, options_.cloud_latency);
+  wire(nodes_.backup, nodes_.cloud_subscriber, options_.cloud_latency);
+
+  // Brokers.
+  const BrokerConfig broker_cfg = broker_config(options_.config);
+  RuntimeBroker::Options primary_opts;
+  primary_opts.node = nodes_.primary;
+  primary_opts.peer = nodes_.backup;
+  primary_opts.start_as_primary = true;
+  primary_opts.broker = broker_cfg;
+  primary_opts.poll_period = options_.detector_poll;
+  primary_opts.poll_miss_threshold = options_.detector_misses;
+  primary_ = std::make_unique<RuntimeBroker>(*bus_, clock_, primary_opts,
+                                             topics_, options_.timing);
+
+  RuntimeBroker::Options backup_opts = primary_opts;
+  backup_opts.node = nodes_.backup;
+  backup_opts.peer = nodes_.primary;
+  backup_opts.start_as_primary = false;
+  backup_ = std::make_unique<RuntimeBroker>(*bus_, clock_, backup_opts,
+                                            topics_, options_.timing);
+
+  // Subscribers (ES1, ES2, CS1) and subscriptions on both brokers.
+  const NodeId sub_nodes[3] = {nodes_.edge_subscriber_1,
+                               nodes_.edge_subscriber_2,
+                               nodes_.cloud_subscriber};
+  for (const NodeId node : sub_nodes) {
+    subscribers_.push_back(
+        std::make_unique<RuntimeSubscriber>(*bus_, clock_, node));
+  }
+  for (const auto& spec : topics_) {
+    const int index = subscriber_index_of(spec.id);
+    subscribers_[index]->add_topic(spec);
+    primary_->subscribe(spec.id, sub_nodes[index]);
+    backup_->subscribe(spec.id, sub_nodes[index]);
+  }
+
+  // Publisher proxies; each proxy publishes to the Primary until failover.
+  NodeId pub_node = nodes_.first_publisher;
+  for (const auto& proxy : proxies) {
+    wire(pub_node, nodes_.primary, options_.publisher_latency);
+    wire(pub_node, nodes_.backup, options_.publisher_latency);
+    RuntimePublisher::Options pub_opts;
+    pub_opts.node = pub_node;
+    pub_opts.primary = nodes_.primary;
+    pub_opts.backup = nodes_.backup;
+    pub_opts.poll_period = options_.detector_poll;
+    pub_opts.poll_miss_threshold = options_.detector_misses;
+    publishers_.push_back(std::make_unique<RuntimePublisher>(
+        *bus_, clock_, pub_opts, proxy.topics, proxy.period));
+    std::vector<TopicId> ids;
+    for (const auto& spec : proxy.topics) ids.push_back(spec.id);
+    publisher_topics_.push_back(std::move(ids));
+    ++pub_node;
+  }
+}
+
+EdgeSystem::~EdgeSystem() { stop(); }
+
+int EdgeSystem::subscriber_index_of(TopicId topic) const {
+  if (topics_[topic].destination == Destination::kCloud) return 2;
+  return static_cast<int>(topic % 2);
+}
+
+void EdgeSystem::start() {
+  primary_->start();
+  backup_->start();
+  for (auto& pub : publishers_) pub->start();
+}
+
+void EdgeSystem::stop() {
+  for (auto& pub : publishers_) pub->stop();
+  if (primary_) primary_->stop();
+  if (backup_) backup_->stop();
+  bus_->shutdown();
+}
+
+void EdgeSystem::crash_primary() { primary_->crash(); }
+
+void EdgeSystem::rejoin_crashed_primary() {
+  primary_->restart_as_backup(nodes_.backup);
+}
+
+bool EdgeSystem::wait_for_failover(Duration timeout) {
+  const TimePoint deadline = clock_.now() + timeout;
+  while (clock_.now() < deadline) {
+    bool all = backup_->is_primary();
+    for (const auto& pub : publishers_) all = all && pub->failed_over();
+    if (all) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+std::uint64_t EdgeSystem::messages_created() const {
+  std::uint64_t total = 0;
+  for (const auto& pub : publishers_) total += pub->messages_created();
+  return total;
+}
+
+std::uint64_t EdgeSystem::messages_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& sub : subscribers_) total += sub->total_unique();
+  return total;
+}
+
+SeqNo EdgeSystem::last_seq(TopicId topic) const {
+  for (std::size_t i = 0; i < publishers_.size(); ++i) {
+    for (const TopicId id : publisher_topics_[i]) {
+      if (id == topic) {
+        // The engine tracks per-topic sequence numbers.
+        return publishers_[i]->messages_created() == 0
+                   ? 0
+                   : publishers_[i]->last_seq(topic);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace frame::runtime

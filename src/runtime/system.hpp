@@ -1,0 +1,100 @@
+// Whole-deployment assembly mirroring the paper's Fig. 6 topology on one
+// process: publisher proxies, a Primary and a Backup broker, two edge
+// subscriber hosts and one cloud subscriber, wired over the latency-
+// injecting in-process bus.  Used by the examples and integration tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/inproc_bus.hpp"
+#include "net/tcp_bus.hpp"
+#include "runtime/runtime_broker.hpp"
+#include "runtime/runtime_publisher.hpp"
+#include "runtime/runtime_subscriber.hpp"
+
+namespace frame::runtime {
+
+struct ProxyGroup {
+  Duration period = 0;
+  std::vector<TopicSpec> topics;
+};
+
+/// Which Bus implementation carries the deployment's frames.
+enum class Transport : std::uint8_t {
+  kInproc = 0,  ///< in-process queues with latency injection (default)
+  kTcp = 1,     ///< real loopback TCP sockets (no latency shaping)
+};
+
+struct SystemOptions {
+  ConfigName config = ConfigName::kFrame;
+  Transport transport = Transport::kInproc;
+  TimingParams timing;               ///< analysis parameters (ΔBS bounds, x...)
+  Duration edge_latency = microseconds(300);   ///< injected one-way, LAN
+  Duration cloud_latency = milliseconds(20);   ///< injected one-way, WAN
+  Duration backup_latency = microseconds(50);  ///< Primary -> Backup
+  Duration publisher_latency = microseconds(200);
+  Duration detector_poll = milliseconds(10);
+  int detector_misses = 3;
+};
+
+/// Node-id layout of the assembled system.
+struct SystemNodes {
+  NodeId primary = 1;
+  NodeId backup = 2;
+  NodeId edge_subscriber_1 = 10;
+  NodeId edge_subscriber_2 = 11;
+  NodeId cloud_subscriber = 12;
+  NodeId first_publisher = 100;
+};
+
+class EdgeSystem {
+ public:
+  EdgeSystem(SystemOptions options, std::vector<ProxyGroup> proxies);
+  ~EdgeSystem();
+
+  EdgeSystem(const EdgeSystem&) = delete;
+  EdgeSystem& operator=(const EdgeSystem&) = delete;
+
+  void start();
+  void stop();
+
+  /// Fail-stop crash of the Primary broker (the paper's SIGKILL).
+  void crash_primary();
+
+  /// Waits until every publisher has redirected to the Backup.
+  bool wait_for_failover(Duration timeout);
+
+  /// Backup reintegration: restarts the crashed original Primary as the
+  /// new Backup of the promoted broker, restoring one-failure tolerance.
+  void rejoin_crashed_primary();
+
+  const std::vector<TopicSpec>& topics() const { return topics_; }
+  int subscriber_index_of(TopicId topic) const;
+
+  RuntimeSubscriber& subscriber(int index) { return *subscribers_[index]; }
+  RuntimeBroker& primary() { return *primary_; }
+  RuntimeBroker& backup() { return *backup_; }
+  RuntimePublisher& publisher(std::size_t index) { return *publishers_[index]; }
+  std::size_t publisher_count() const { return publishers_.size(); }
+
+  std::uint64_t messages_created() const;
+  std::uint64_t messages_delivered() const;
+
+  SeqNo last_seq(TopicId topic) const;
+
+ private:
+  SystemOptions options_;
+  SystemNodes nodes_;
+  std::vector<TopicSpec> topics_;
+  MonotonicClock clock_;
+  std::unique_ptr<Bus> bus_;
+  InprocBus* inproc_ = nullptr;  ///< non-null when transport == kInproc
+  std::unique_ptr<RuntimeBroker> primary_;
+  std::unique_ptr<RuntimeBroker> backup_;
+  std::vector<std::unique_ptr<RuntimeSubscriber>> subscribers_;
+  std::vector<std::unique_ptr<RuntimePublisher>> publishers_;
+  std::vector<std::vector<TopicId>> publisher_topics_;
+};
+
+}  // namespace frame::runtime

@@ -1,0 +1,715 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/differentiation.hpp"
+
+namespace frame::sim {
+
+TimingParams paper_timing_params() {
+  TimingParams params;
+  params.delta_pb = milliseconds(1);
+  params.delta_bs_edge = milliseconds(1);
+  params.delta_bs_cloud = milliseconds(20);
+  params.delta_bb = microseconds(50);  // 0.05 ms
+  params.failover_x = milliseconds(50);
+  return params;
+}
+
+TimePoint crash_time(const ExperimentConfig& config) {
+  if (!config.inject_crash) return 0;
+  return config.warmup +
+         static_cast<Duration>(config.crash_fraction *
+                               static_cast<double>(config.measure));
+}
+
+const CategoryResult& ExperimentResult::category(int cat) const {
+  for (const auto& entry : categories) {
+    if (entry.category == cat) return entry;
+  }
+  throw std::out_of_range("no such category in result");
+}
+
+namespace {
+
+constexpr std::uint32_t kProxyPublish = 0;
+constexpr std::uint32_t kProxyReplica = 1;
+constexpr std::uint32_t kProxyPrune = 2;
+constexpr std::uint32_t kProxyRecovery = 3;
+
+constexpr int kPrimaryHost = 0;
+constexpr int kBackupHost = 1;
+constexpr int kSubscriberCount = 3;  // ES1, ES2, CS1
+constexpr int kCloudSubscriber = 2;
+
+struct ProxyItem {
+  std::uint32_t kind = kProxyPublish;
+  Message msg;
+};
+
+struct BrokerHost {
+  bool crashed = false;
+  /// Incremented on crash and on restart; stale kProxyDone/kWorkerDone
+  /// events from a previous life are dropped by epoch mismatch.
+  std::uint32_t epoch = 0;
+  bool has_backup_peer = false;  ///< replicate / prune allowed
+  std::unique_ptr<PrimaryEngine> primary;  ///< null on the Backup until promotion
+  std::unique_ptr<BackupEngine> backup;
+
+  std::deque<ProxyItem> proxy_queue;
+  bool proxy_busy = false;
+  std::uint64_t proxy_busy_ns = 0;
+
+  int busy_workers = 0;
+  std::uint64_t delivery_busy_ns = 0;
+
+  std::uint64_t proxy_busy_at[2] = {0, 0};     // window start / end snapshots
+  std::uint64_t delivery_busy_at[2] = {0, 0};
+
+  /// Publishes that arrived after the publishers failed over but before
+  /// this host was promoted (possible when x < detection time).
+  std::vector<Message> pending_publishes;
+};
+
+struct SimPublisher {
+  std::unique_ptr<PublisherEngine> engine;
+  int target_host = kPrimaryHost;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config)
+      : cfg_(config), rng_(config.seed) {}
+
+  ExperimentResult run();
+
+ private:
+  void build();
+  void schedule_initial_events();
+  void handle(const SimEvent& event);
+
+  void on_publisher_batch(std::uint32_t pub_index, TimePoint now);
+  void on_arrival(std::uint32_t host_index, std::uint32_t kind,
+                  const Message& msg, TimePoint now);
+  void on_proxy_done(std::uint32_t host_index, std::uint32_t epoch,
+                     TimePoint now);
+  void on_worker_done(std::uint32_t host_index, std::uint32_t epoch,
+                      TimePoint now);
+  void on_deliver(std::uint32_t sub_index, const Message& msg, TimePoint now);
+  void on_crash(std::uint32_t host_index, TimePoint now);
+  void on_promote(std::uint32_t host_index, TimePoint now);
+  void on_publisher_failover(int target_host, TimePoint now);
+  void on_backup_join(std::uint32_t host_index, TimePoint now);
+  void on_snapshot(std::uint32_t which);
+
+  void kick_proxy(int host_index, TimePoint now);
+  void kick_delivery(int host_index, TimePoint now);
+
+  Duration proxy_cost(std::uint32_t kind) const;
+  Duration sample_pb(TimePoint now) { return pub_to_broker_->sample(rng_, now); }
+  Duration sample_bb(TimePoint now) {
+    return broker_to_backup_->sample(rng_, now);
+  }
+  Duration sample_bs(Destination destination, TimePoint now) {
+    return destination == Destination::kEdge
+               ? broker_to_edge_->sample(rng_, now)
+               : broker_to_cloud_->sample(rng_, now);
+  }
+
+  int subscriber_of_topic(TopicId topic) const {
+    if (workload_.topics[topic].destination == Destination::kCloud) {
+      return kCloudSubscriber;
+    }
+    return static_cast<int>(topic % 2);  // alternate ES1 / ES2
+  }
+
+  void track_created(const Message& msg);
+  ExperimentResult assemble();
+
+  ExperimentConfig cfg_;
+  Rng rng_;
+  Workload workload_;
+  EventQueue queue_;
+
+  BrokerHost hosts_[2];
+  std::vector<SimPublisher> publishers_;
+  std::vector<std::unique_ptr<SubscriberEngine>> subscribers_;
+
+  std::unique_ptr<LatencyModel> pub_to_broker_;
+  std::unique_ptr<LatencyModel> broker_to_edge_;
+  std::unique_ptr<LatencyModel> broker_to_cloud_;
+  std::unique_ptr<LatencyModel> broker_to_backup_;
+
+  TimePoint window_start_ = 0;
+  TimePoint window_end_ = 0;
+  TimePoint end_time_ = 0;
+  TimePoint crash_at_ = 0;
+
+  // Ground truth for loss/latency accounting, per topic.
+  std::vector<SeqNo> first_in_window_;
+  std::vector<SeqNo> last_in_window_;
+  std::vector<std::uint64_t> created_in_window_;
+
+  PrimaryEngine::Stats crashed_primary_stats_;
+  bool primary_stats_saved_ = false;
+  TimePoint second_crash_at_ = 0;
+  std::uint64_t sync_set_size_ = 0;
+  JobResponseStats responses_;
+  std::size_t backup_live_at_promotion_ = 0;
+  std::size_t backup_size_at_promotion_ = 0;
+};
+
+Duration Experiment::proxy_cost(std::uint32_t kind) const {
+  switch (kind) {
+    case kProxyPublish:
+      return cfg_.costs.proxy_per_message;
+    case kProxyReplica:
+      return cfg_.costs.backup_insert;
+    case kProxyPrune:
+      return cfg_.costs.backup_prune;
+    default:
+      return cfg_.costs.recovery_per_message;
+  }
+}
+
+void Experiment::build() {
+  workload_ = cfg_.custom_workload.has_value()
+                  ? *cfg_.custom_workload
+                  : make_table2_workload(cfg_.total_topics, cfg_.timing,
+                                         uses_retention_bump(cfg_.config));
+  if (cfg_.extra_retention > 0) {
+    workload_.topics = with_extra_retention(workload_.topics, cfg_.timing,
+                                            cfg_.extra_retention);
+  }
+
+  const BrokerConfig broker_cfg = cfg_.broker_override.has_value()
+                                      ? *cfg_.broker_override
+                                      : broker_config(cfg_.config);
+
+  // Primary host: full Primary engine with a Backup peer.
+  hosts_[kPrimaryHost].primary = std::make_unique<PrimaryEngine>(
+      broker_cfg, workload_.topics, cfg_.timing);
+  hosts_[kPrimaryHost].has_backup_peer = true;
+  // Backup host: Backup engine only; promotion creates its Primary engine.
+  hosts_[kBackupHost].backup = std::make_unique<BackupEngine>(broker_cfg);
+  hosts_[kBackupHost].backup->configure(workload_.topic_count());
+
+  // Subscribers and per-topic subscriptions.
+  subscribers_.clear();
+  for (int i = 0; i < kSubscriberCount; ++i) {
+    subscribers_.push_back(
+        std::make_unique<SubscriberEngine>(static_cast<NodeId>(i)));
+  }
+  for (const auto& spec : workload_.topics) {
+    const int sub = subscriber_of_topic(spec.id);
+    subscribers_[sub]->add_topic(spec);
+    hosts_[kPrimaryHost].primary->subscribe(spec.id,
+                                            static_cast<NodeId>(sub));
+  }
+
+  // Publishers (one engine per proxy).
+  publishers_.clear();
+  publishers_.reserve(workload_.proxies.size());
+  NodeId pub_id = 1000;
+  for (const auto& proxy : workload_.proxies) {
+    std::vector<TopicSpec> specs;
+    specs.reserve(proxy.topics.size());
+    for (const TopicId topic : proxy.topics) {
+      specs.push_back(workload_.topics[topic]);
+    }
+    SimPublisher pub;
+    pub.engine = std::make_unique<PublisherEngine>(pub_id++, std::move(specs),
+                                                   proxy.period);
+    publishers_.push_back(std::move(pub));
+  }
+
+  // Links (paper Section VI-A: switched gigabit LAN + AWS EC2 uplink).
+  pub_to_broker_ = std::make_unique<UniformLatency>(microseconds(150),
+                                                    microseconds(350));
+  broker_to_edge_ = std::make_unique<UniformLatency>(microseconds(200),
+                                                     microseconds(400));
+  if (cfg_.diurnal_cloud) {
+    broker_to_cloud_ = std::make_unique<DiurnalCloudLatency>(
+        DiurnalCloudLatency::Profile{});
+  } else {
+    broker_to_cloud_ = std::make_unique<NormalLatency>(
+        microseconds(22'000), microseconds(800), microseconds(20'700));
+  }
+  broker_to_backup_ = std::make_unique<UniformLatency>(microseconds(40),
+                                                       microseconds(60));
+
+  window_start_ = cfg_.warmup;
+  window_end_ = cfg_.warmup + cfg_.measure;
+  end_time_ = window_end_ + cfg_.drain;
+  crash_at_ = crash_time(cfg_);
+
+  first_in_window_.assign(workload_.topic_count(), 0);
+  last_in_window_.assign(workload_.topic_count(), 0);
+  created_in_window_.assign(workload_.topic_count(), 0);
+
+  for (auto& sub : subscribers_) {
+    sub->set_measure_window(window_start_, window_end_);
+  }
+  for (const int cat : cfg_.watch_categories) {
+    const TopicId topic = workload_.representative(cat);
+    if (topic != kInvalidTopic) {
+      subscribers_[subscriber_of_topic(topic)]->watch(topic);
+    }
+  }
+}
+
+void Experiment::schedule_initial_events() {
+  for (std::uint32_t i = 0; i < publishers_.size(); ++i) {
+    const Duration period = publishers_[i].engine->period();
+    const auto offset = static_cast<Duration>(
+        rng_.next_double() * static_cast<double>(period));
+    queue_.push(offset, EvKind::kPublisherBatch, i);
+  }
+  queue_.push(window_start_, EvKind::kSnapshot, 0);
+  queue_.push(window_end_, EvKind::kSnapshot, 1);
+  if (cfg_.inject_crash) {
+    queue_.push(crash_at_, EvKind::kCrash, kPrimaryHost);
+    queue_.push(crash_at_ + cfg_.backup_detection, EvKind::kPromote,
+                kBackupHost);
+    queue_.push(crash_at_ + cfg_.timing.failover_x,
+                EvKind::kPublisherFailover, kBackupHost);
+    if (cfg_.backup_rejoin) {
+      queue_.push(crash_at_ + cfg_.rejoin_delay, EvKind::kBackupJoin,
+                  kPrimaryHost);
+    }
+    if (cfg_.inject_second_crash) {
+      assert(cfg_.backup_rejoin &&
+             cfg_.second_crash_delay > cfg_.rejoin_delay &&
+             "a Backup must have rejoined before the second crash");
+      second_crash_at_ = crash_at_ + cfg_.second_crash_delay;
+      queue_.push(second_crash_at_, EvKind::kCrash, kBackupHost);
+      queue_.push(second_crash_at_ + cfg_.backup_detection, EvKind::kPromote,
+                  kPrimaryHost);
+      queue_.push(second_crash_at_ + cfg_.timing.failover_x,
+                  EvKind::kPublisherFailover, kPrimaryHost);
+    }
+  }
+}
+
+void Experiment::track_created(const Message& msg) {
+  if (msg.created_at < window_start_ || msg.created_at >= window_end_) return;
+  if (created_in_window_[msg.topic] == 0) first_in_window_[msg.topic] = msg.seq;
+  last_in_window_[msg.topic] = msg.seq;
+  ++created_in_window_[msg.topic];
+}
+
+void Experiment::on_publisher_batch(std::uint32_t pub_index, TimePoint now) {
+  auto& pub = publishers_[pub_index];
+  std::vector<Message> batch = pub.engine->create_batch(now);
+  const Duration delta_pb = sample_pb(now);
+  for (const auto& msg : batch) {
+    track_created(msg);
+    queue_.push(now + delta_pb, EvKind::kArrival,
+                static_cast<std::uint32_t>(pub.target_host), kProxyPublish,
+                msg);
+  }
+  const TimePoint next = now + pub.engine->period();
+  if (next < window_end_) {
+    queue_.push(next, EvKind::kPublisherBatch, pub_index);
+  }
+}
+
+void Experiment::on_arrival(std::uint32_t host_index, std::uint32_t kind,
+                            const Message& msg, TimePoint now) {
+  BrokerHost& host = hosts_[host_index];
+  if (host.crashed) return;  // fail-stop: traffic to a dead host vanishes
+  host.proxy_queue.push_back(ProxyItem{kind, msg});
+  kick_proxy(static_cast<int>(host_index), now);
+}
+
+void Experiment::kick_proxy(int host_index, TimePoint now) {
+  BrokerHost& host = hosts_[host_index];
+  if (host.crashed || host.proxy_busy || host.proxy_queue.empty()) return;
+  const Duration cost = proxy_cost(host.proxy_queue.front().kind);
+  host.proxy_busy = true;
+  host.proxy_busy_ns += static_cast<std::uint64_t>(cost);
+  queue_.push(now + cost, EvKind::kProxyDone,
+              static_cast<std::uint32_t>(host_index), host.epoch);
+}
+
+void Experiment::on_proxy_done(std::uint32_t host_index, std::uint32_t epoch,
+                               TimePoint now) {
+  BrokerHost& host = hosts_[host_index];
+  if (host.crashed || epoch != host.epoch) return;
+  assert(!host.proxy_queue.empty());
+  ProxyItem item = std::move(host.proxy_queue.front());
+  host.proxy_queue.pop_front();
+  host.proxy_busy = false;
+
+  switch (item.kind) {
+    case kProxyPublish:
+      if (host.primary) {
+        host.primary->on_publish(item.msg, now,
+                                 /*allow_replication=*/host.has_backup_peer);
+      } else {
+        // Publisher redirected before promotion: hold until promoted.
+        host.pending_publishes.push_back(item.msg);
+      }
+      break;
+    case kProxyReplica:
+      if (host.backup) host.backup->on_replica(item.msg, now);
+      break;
+    case kProxyPrune:
+      if (host.backup) host.backup->on_prune(item.msg.topic, item.msg.seq);
+      break;
+    case kProxyRecovery:
+      if (host.primary) host.primary->on_recovery_copy(item.msg, now);
+      break;
+    default:
+      break;
+  }
+
+  kick_proxy(static_cast<int>(host_index), now);
+  kick_delivery(static_cast<int>(host_index), now);
+}
+
+void Experiment::kick_delivery(int host_index, TimePoint now) {
+  BrokerHost& host = hosts_[host_index];
+  if (host.crashed || !host.primary) return;
+  const int other = 1 - host_index;
+
+  while (host.busy_workers < cfg_.costs.delivery_cores) {
+    auto job = host.primary->next_job();
+    if (!job.has_value()) break;
+
+    Duration cost = cfg_.costs.stale_job;
+    if (job->kind == JobKind::kDispatch) {
+      DispatchEffect effect = host.primary->execute_dispatch(*job);
+      if (effect.executed) {
+        cost = cfg_.costs.dispatch;
+        if (effect.prune_backup) {
+          cost += cfg_.costs.coordination;
+        } else if (effect.coordinated) {
+          cost += cfg_.costs.replicate_abort;  // local job cancellation
+        }
+        const TimePoint done = now + cost;
+        Message msg = effect.msg;
+        msg.dispatched_at = done;
+        const Destination destination =
+            workload_.topics[msg.topic].destination;
+        for (const NodeId sub : effect.subscribers) {
+          queue_.push(done + sample_bs(destination, now), EvKind::kDeliver,
+                      static_cast<std::uint32_t>(sub), 0, msg);
+        }
+        if (effect.prune_backup && host.has_backup_peer &&
+            !hosts_[other].crashed) {
+          Message prune;
+          prune.topic = job->topic;
+          prune.seq = job->seq;
+          queue_.push(done + sample_bb(now), EvKind::kArrival,
+                      static_cast<std::uint32_t>(other), kProxyPrune, prune);
+        }
+      }
+    } else {
+      ReplicateEffect effect = host.primary->execute_replicate(*job);
+      if (effect.aborted_dispatched) {
+        cost = cfg_.costs.replicate_abort;
+      } else if (effect.executed) {
+        cost = cfg_.costs.replicate;
+        if (host.has_backup_peer && !hosts_[other].crashed) {
+          queue_.push(now + cost + sample_bb(now), EvKind::kArrival,
+                      static_cast<std::uint32_t>(other), kProxyReplica,
+                      effect.msg);
+        }
+      }
+    }
+
+    // Response time against the lemma deadline, measured at completion,
+    // for jobs released inside the measuring window (the Primary host's
+    // jobs only -- recovery-path jobs have different semantics).
+    if (host_index == kPrimaryHost && job->release >= window_start_ &&
+        job->release < window_end_) {
+      const TimePoint completion = now + cost;
+      const auto response = static_cast<double>(completion - job->release);
+      if (job->kind == JobKind::kDispatch) {
+        ++responses_.dispatch_jobs;
+        responses_.dispatch.add(response);
+        if (completion > job->deadline) ++responses_.dispatch_misses;
+      } else {
+        ++responses_.replicate_jobs;
+        responses_.replicate.add(response);
+        if (completion > job->deadline) ++responses_.replicate_misses;
+      }
+    }
+
+    ++host.busy_workers;
+    host.delivery_busy_ns += static_cast<std::uint64_t>(cost);
+    queue_.push(now + cost, EvKind::kWorkerDone,
+                static_cast<std::uint32_t>(host_index), host.epoch);
+  }
+}
+
+void Experiment::on_worker_done(std::uint32_t host_index, std::uint32_t epoch,
+                                TimePoint now) {
+  BrokerHost& host = hosts_[host_index];
+  if (host.crashed || epoch != host.epoch) return;
+  --host.busy_workers;
+  kick_delivery(static_cast<int>(host_index), now);
+}
+
+void Experiment::on_deliver(std::uint32_t sub_index, const Message& msg,
+                            TimePoint now) {
+  subscribers_[sub_index]->on_deliver(msg, now);
+}
+
+void Experiment::on_crash(std::uint32_t host_index, TimePoint) {
+  BrokerHost& host = hosts_[host_index];
+  host.crashed = true;
+  ++host.epoch;
+  host.proxy_queue.clear();
+  host.proxy_busy = false;
+  host.busy_workers = 0;
+  host.pending_publishes.clear();
+  if (host.primary && !primary_stats_saved_) {
+    crashed_primary_stats_ = host.primary->stats();
+    primary_stats_saved_ = true;
+  }
+}
+
+void Experiment::on_promote(std::uint32_t host_index, TimePoint now) {
+  BrokerHost& host = hosts_[host_index];
+  if (host.crashed || host.primary) return;
+
+  if (backup_live_at_promotion_ == 0 && backup_size_at_promotion_ == 0) {
+    backup_live_at_promotion_ = host.backup->store().live_count();
+    backup_size_at_promotion_ = host.backup->store().size();
+  }
+
+  const BrokerConfig broker_cfg = cfg_.broker_override.has_value()
+                                      ? *cfg_.broker_override
+                                      : broker_config(cfg_.config);
+  host.primary = std::make_unique<PrimaryEngine>(broker_cfg, workload_.topics,
+                                                 cfg_.timing);
+  host.has_backup_peer = false;  // the new Primary has no Backup of its own
+  for (const auto& spec : workload_.topics) {
+    host.primary->subscribe(
+        spec.id, static_cast<NodeId>(subscriber_of_topic(spec.id)));
+  }
+
+  // Recovery first (Section IV-A): dispatch the pruned Backup-Buffer set...
+  std::vector<Message> recovery = host.backup->promote();
+  for (const auto& msg : recovery) {
+    host.proxy_queue.push_back(ProxyItem{kProxyRecovery, msg});
+  }
+  // ...then any publishes that raced ahead of the promotion.
+  for (const auto& msg : host.pending_publishes) {
+    host.proxy_queue.push_back(ProxyItem{kProxyPublish, msg});
+  }
+  host.pending_publishes.clear();
+  kick_proxy(static_cast<int>(host_index), now);
+}
+
+void Experiment::on_publisher_failover(int target_host, TimePoint now) {
+  for (auto& pub : publishers_) {
+    pub.target_host = target_host;
+    const Duration delta_pb = sample_pb(now);
+    for (auto& msg : pub.engine->failover_resend()) {
+      queue_.push(now + delta_pb, EvKind::kArrival,
+                  static_cast<std::uint32_t>(target_host), kProxyPublish,
+                  msg);
+    }
+  }
+}
+
+void Experiment::on_backup_join(std::uint32_t host_index, TimePoint now) {
+  // The crashed host restarts as the new Backup of the current Primary.
+  BrokerHost& joining = hosts_[host_index];
+  BrokerHost& serving = hosts_[1 - host_index];
+  if (!serving.primary || serving.crashed) return;  // nothing to back up
+
+  joining.crashed = false;
+  ++joining.epoch;
+  joining.primary.reset();
+  joining.backup = std::make_unique<BackupEngine>(
+      cfg_.broker_override.has_value() ? *cfg_.broker_override
+                                       : broker_config(cfg_.config));
+  joining.backup->configure(workload_.topic_count());
+
+  // State sync: undispatched copies of replicating topics, shipped in bulk
+  // (bypassing the delivery module) and charged to the Backup's proxy.
+  std::vector<Message> sync = serving.primary->backup_sync_set();
+  sync_set_size_ += sync.size();
+  for (const auto& msg : sync) {
+    queue_.push(now + sample_bb(now), EvKind::kArrival, host_index,
+                kProxyReplica, msg);
+  }
+  serving.has_backup_peer = true;
+}
+
+void Experiment::on_snapshot(std::uint32_t which) {
+  for (auto& host : hosts_) {
+    host.proxy_busy_at[which] = host.proxy_busy_ns;
+    host.delivery_busy_at[which] = host.delivery_busy_ns;
+  }
+}
+
+void Experiment::handle(const SimEvent& event) {
+  switch (event.kind) {
+    case EvKind::kPublisherBatch:
+      on_publisher_batch(event.a, event.time);
+      break;
+    case EvKind::kArrival:
+      on_arrival(event.a, event.b, event.msg, event.time);
+      break;
+    case EvKind::kProxyDone:
+      on_proxy_done(event.a, event.b, event.time);
+      break;
+    case EvKind::kWorkerDone:
+      on_worker_done(event.a, event.b, event.time);
+      break;
+    case EvKind::kDeliver:
+      on_deliver(event.a, event.msg, event.time);
+      break;
+    case EvKind::kCrash:
+      on_crash(event.a, event.time);
+      break;
+    case EvKind::kPromote:
+      on_promote(event.a, event.time);
+      break;
+    case EvKind::kPublisherFailover:
+      on_publisher_failover(static_cast<int>(event.a), event.time);
+      break;
+    case EvKind::kBackupJoin:
+      on_backup_join(event.a, event.time);
+      break;
+    case EvKind::kSnapshot:
+      on_snapshot(event.a);
+      break;
+  }
+}
+
+ExperimentResult Experiment::assemble() {
+  ExperimentResult result;
+  result.config = cfg_.config;
+  result.total_topics = workload_.topic_count();
+  result.seed = cfg_.seed;
+  result.crash_time = crash_at_;
+  result.second_crash_time = second_crash_at_;
+  result.sync_set_size = sync_set_size_;
+  result.responses = responses_;
+
+  int max_category = 0;
+  for (const int cat : workload_.category) {
+    max_category = std::max(max_category, cat);
+  }
+  for (int cat = 0; cat <= max_category; ++cat) {
+    const auto topics = workload_.topics_in_category(cat);
+    if (topics.empty()) continue;
+    CategoryResult entry;
+    entry.category = cat;
+    entry.topic_count = topics.size();
+    entry.deadline = workload_.topics[topics.front()].deadline;
+    entry.loss_tolerance = workload_.topics[topics.front()].loss_tolerance;
+
+    std::size_t meeting_loss = 0;
+    double latency_success_sum = 0.0;
+    std::size_t measured = 0;
+    for (const TopicId topic : topics) {
+      if (created_in_window_[topic] == 0) continue;
+      ++measured;
+      const auto& sub = *subscribers_[subscriber_of_topic(topic)];
+      const LossStats loss = sub.loss_stats(topic, first_in_window_[topic],
+                                            last_in_window_[topic]);
+      entry.total_losses += loss.total_losses;
+      if (loss.max_consecutive_losses > entry.worst_consecutive_losses) {
+        entry.worst_consecutive_losses = loss.max_consecutive_losses;
+      }
+      const TopicSpec& spec = workload_.topics[topic];
+      const bool meets = spec.best_effort() ||
+                         loss.max_consecutive_losses <= spec.loss_tolerance;
+      if (meets) ++meeting_loss;
+      latency_success_sum +=
+          static_cast<double>(sub.on_time_in_window(topic)) /
+          static_cast<double>(created_in_window_[topic]);
+      entry.latency.merge(sub.latency_stats(topic));
+    }
+    if (measured > 0) {
+      entry.loss_success_pct =
+          100.0 * static_cast<double>(meeting_loss) /
+          static_cast<double>(measured);
+      entry.latency_success_pct =
+          100.0 * latency_success_sum / static_cast<double>(measured);
+    }
+    result.categories.push_back(entry);
+  }
+
+  const double window = static_cast<double>(cfg_.measure);
+  const auto util = [&](const std::uint64_t at[2], int cores) {
+    return 100.0 * static_cast<double>(at[1] - at[0]) /
+           (window * static_cast<double>(cores));
+  };
+  result.cpu.primary_delivery = util(hosts_[kPrimaryHost].delivery_busy_at,
+                                     cfg_.costs.delivery_cores);
+  result.cpu.primary_proxy = util(hosts_[kPrimaryHost].proxy_busy_at, 1);
+  result.cpu.backup_proxy = util(hosts_[kBackupHost].proxy_busy_at, 1);
+  result.cpu.backup_delivery = util(hosts_[kBackupHost].delivery_busy_at,
+                                    cfg_.costs.delivery_cores);
+
+  result.primary_stats = primary_stats_saved_
+                             ? crashed_primary_stats_
+                             : hosts_[kPrimaryHost].primary->stats();
+  for (const auto& host : hosts_) {
+    if (&host != &hosts_[kPrimaryHost] || second_crash_at_ > 0) {
+      if (host.primary && !host.crashed) {
+        result.promoted_stats = host.primary->stats();
+      }
+    }
+  }
+  if (hosts_[kBackupHost].backup) {
+    result.backup_stats = hosts_[kBackupHost].backup->stats();
+  }
+  result.backup_live_at_promotion = backup_live_at_promotion_;
+  result.backup_size_at_promotion = backup_size_at_promotion_;
+
+  for (const auto& pub : publishers_) {
+    result.messages_created += pub.engine->messages_created();
+  }
+  for (const auto& sub : subscribers_) {
+    result.unique_delivered += sub->total_unique();
+    result.duplicates_discarded += sub->total_duplicates();
+  }
+
+  for (const int cat : cfg_.watch_categories) {
+    const TopicId topic = workload_.representative(cat);
+    if (topic == kInvalidTopic) continue;
+    const auto& sub = *subscribers_[subscriber_of_topic(topic)];
+    WatchedTrace trace;
+    trace.category = cat;
+    trace.topic = topic;
+    trace.samples = sub.trace(topic);
+    if (created_in_window_[topic] > 0) {
+      trace.losses = sub.loss_stats(topic, first_in_window_[topic],
+                                    last_in_window_[topic])
+                         .total_losses;
+    }
+    result.traces.push_back(std::move(trace));
+  }
+  return result;
+}
+
+ExperimentResult Experiment::run() {
+  build();
+  schedule_initial_events();
+  while (!queue_.empty()) {
+    if (queue_.top().time > end_time_) break;
+    const SimEvent event = queue_.pop();
+    handle(event);
+  }
+  return assemble();
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  Experiment experiment(config);
+  return experiment.run();
+}
+
+}  // namespace frame::sim

@@ -1,0 +1,157 @@
+// Experiment harness: builds the paper's Fig. 6 topology in the simulator,
+// runs one configuration, and collects every metric the evaluation reports.
+//
+// Topology (Section VI-A): publisher proxies -> Primary broker (B1) with a
+// Backup broker (B2), two edge subscriber hosts (ES1, ES2) and one cloud
+// subscriber (CS1).  Broker hosts dedicate two cores to Message Delivery
+// and one to the Message Proxy.  A crash of the Primary can be injected
+// mid-run (the paper SIGKILLs it at the 30th second of 60).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/backup_engine.hpp"
+#include "broker/config.hpp"
+#include "broker/primary_engine.hpp"
+#include "broker/publisher_engine.hpp"
+#include "broker/subscriber_engine.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/des.hpp"
+#include "sim/latency_model.hpp"
+#include "sim/workload.hpp"
+
+namespace frame::sim {
+
+/// The timing parameters the paper's worked example uses (Section III-D):
+/// ΔBS = 1 ms (edge) / 20 ms (cloud, measured lower bound ~20.7 ms),
+/// ΔBB = 0.05 ms, x = 50 ms; ΔPB bound 1 ms.
+TimingParams paper_timing_params();
+
+struct ExperimentConfig {
+  ConfigName config = ConfigName::kFrame;
+  std::size_t total_topics = 7525;
+  TimingParams timing = paper_timing_params();
+  CostModel costs;
+
+  Duration warmup = seconds(2);
+  Duration measure = seconds(10);
+  Duration drain = seconds(2);
+
+  bool inject_crash = false;
+  double crash_fraction = 0.5;        ///< position within the measure window
+  Duration backup_detection = milliseconds(30);  ///< crash -> promotion
+
+  /// Backup reintegration: restart the crashed host as the new Backup of
+  /// the promoted Primary this long after the crash.  The promoted Primary
+  /// ships its undispatched replicating copies as a state sync and resumes
+  /// replication from then on.
+  bool backup_rejoin = false;
+  Duration rejoin_delay = seconds(1);
+
+  /// Second failure: crash the promoted Primary this long after the first
+  /// crash.  Requires backup_rejoin (and second_crash_delay > rejoin_delay)
+  /// so a Backup exists to take over again.
+  bool inject_second_crash = false;
+  Duration second_crash_delay = seconds(2);
+
+  std::uint64_t seed = 1;
+  std::vector<int> watch_categories;  ///< record Fig. 9 traces for these
+
+  /// Fig. 8 mode: drive the cloud link with the diurnal profile instead of
+  /// the default normal model.
+  bool diurnal_cloud = false;
+
+  /// Overrides the Table-2 workload (used by the Fig. 8 micro-benchmark and
+  /// by unit tests).
+  std::optional<Workload> custom_workload;
+
+  /// Overrides the broker policies derived from `config`; used by the
+  /// ablation benches (e.g. FRAME with coordination disabled).
+  std::optional<BrokerConfig> broker_override;
+
+  /// Extra retention added to every topic Proposition 1 would replicate
+  /// (beyond the FRAME+ +1); used by the retention ablation.
+  std::uint32_t extra_retention = 0;
+};
+
+struct CategoryResult {
+  int category = 0;
+  std::size_t topic_count = 0;
+  Duration deadline = 0;              ///< Di of the category
+  std::uint32_t loss_tolerance = 0;   ///< Li of the category
+  double loss_success_pct = 0.0;      ///< % topics with max run <= Li
+  double latency_success_pct = 0.0;   ///< mean over topics of on-time %
+  std::uint64_t total_losses = 0;
+  std::uint64_t worst_consecutive_losses = 0;
+  OnlineStats latency;                ///< in-window latencies (ns), merged
+                                      ///< across the category's topics
+};
+
+/// Response times of the two job kinds against their lemma deadlines,
+/// measured at job completion for jobs released inside the window.  This
+/// is the quantity Lemmas 1-2 bound: if `replicate_misses == 0`, Lemma 1
+/// guarantees the loss-tolerance outcome of any crash.
+struct JobResponseStats {
+  OnlineStats dispatch;        ///< Rd samples (ns)
+  OnlineStats replicate;       ///< Rr samples (ns)
+  std::uint64_t dispatch_jobs = 0;
+  std::uint64_t replicate_jobs = 0;
+  std::uint64_t dispatch_misses = 0;   ///< completed after tp + Dd
+  std::uint64_t replicate_misses = 0;  ///< completed after tp + Dr
+};
+
+struct ModuleUtilization {
+  double primary_delivery = 0.0;
+  double primary_proxy = 0.0;
+  double backup_proxy = 0.0;
+  double backup_delivery = 0.0;  ///< nonzero only after promotion
+};
+
+struct WatchedTrace {
+  int category = 0;
+  TopicId topic = kInvalidTopic;
+  std::vector<TraceSample> samples;
+  std::uint64_t losses = 0;  ///< distinct in-window messages never delivered
+};
+
+struct ExperimentResult {
+  ConfigName config = ConfigName::kFrame;
+  std::size_t total_topics = 0;
+  std::uint64_t seed = 0;
+
+  std::vector<CategoryResult> categories;
+  ModuleUtilization cpu;
+  JobResponseStats responses;  ///< Primary-host jobs, pre-crash
+
+  PrimaryEngine::Stats primary_stats;
+  PrimaryEngine::Stats promoted_stats;  ///< new Primary after failover
+  BackupEngine::Stats backup_stats;
+
+  std::vector<WatchedTrace> traces;
+
+  std::uint64_t messages_created = 0;
+  std::uint64_t unique_delivered = 0;
+  std::uint64_t duplicates_discarded = 0;
+  std::size_t backup_live_at_promotion = 0;
+  std::size_t backup_size_at_promotion = 0;
+  TimePoint crash_time = 0;
+  TimePoint second_crash_time = 0;   ///< 0 when no second crash
+  std::uint64_t sync_set_size = 0;   ///< replicas shipped at reintegration
+
+  const CategoryResult& category(int cat) const;
+};
+
+/// Runs one experiment; deterministic for a given config (incl. seed).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Convenience: the crash time implied by a config (0 when no crash).
+TimePoint crash_time(const ExperimentConfig& config);
+
+}  // namespace frame::sim

@@ -1,0 +1,32 @@
+#include "sim/latency_model.hpp"
+
+#include <cmath>
+
+namespace frame::sim {
+
+Duration DiurnalCloudLatency::sample(Rng& rng, TimePoint now) {
+  constexpr double kDaySeconds = 86'400.0;
+  const double tod = std::fmod(to_seconds(now), kDaySeconds);
+
+  // Smooth swell peaking mid-day: 0 at 3 am, max at 3 pm.
+  const double phase = 2.0 * 3.14159265358979323846 * (tod - 3.0 * 3600.0) /
+                       kDaySeconds;
+  const double swell01 = 0.5 * (1.0 - std::cos(phase));
+  double latency = static_cast<double>(profile_.floor) +
+                   swell01 * static_cast<double>(profile_.swell);
+
+  // Gaussian jitter.
+  latency += rng.normal(0.0, static_cast<double>(profile_.jitter_stddev));
+
+  // The one-off spike around its time of day.
+  const double spike_tod = to_seconds(profile_.spike_time_of_day);
+  const double width = to_seconds(profile_.spike_width);
+  if (std::abs(tod - spike_tod) < width) {
+    latency += static_cast<double>(profile_.spike_height);
+  }
+
+  const auto floor = static_cast<double>(profile_.floor);
+  return static_cast<Duration>(std::max(floor, latency));
+}
+
+}  // namespace frame::sim

@@ -1,0 +1,110 @@
+#include "sim/workload.hpp"
+
+#include <cassert>
+
+#include "core/differentiation.hpp"
+
+namespace frame::sim {
+
+std::vector<TopicId> Workload::topics_in_category(int cat) const {
+  std::vector<TopicId> out;
+  for (std::size_t i = 0; i < topics.size(); ++i) {
+    if (category[i] == cat) out.push_back(topics[i].id);
+  }
+  return out;
+}
+
+TopicId Workload::representative(int cat) const {
+  for (std::size_t i = 0; i < topics.size(); ++i) {
+    if (category[i] == cat) return topics[i].id;
+  }
+  return kInvalidTopic;
+}
+
+double Workload::message_rate() const {
+  double rate = 0.0;
+  for (const auto& spec : topics) {
+    rate += 1e9 / static_cast<double>(spec.period);
+  }
+  return rate;
+}
+
+std::size_t proxy_fanout(int category) {
+  switch (category) {
+    case 0:
+    case 1:
+      return 10;  // proxies of ten topics
+    case 2:
+    case 3:
+    case 4:
+      return 50;  // proxies of fifty topics
+    default:
+      return 1;  // each category-5 publisher publishes one topic
+  }
+}
+
+Workload make_table2_workload(std::size_t total_topics,
+                              const TimingParams& params,
+                              bool retention_bump) {
+  assert(total_topics >= 25 && (total_topics - 25) % 3 == 0 &&
+         "totals must be 25 + 3k (Section VI)");
+  const std::size_t bulk_per_category = (total_topics - 25) / 3;
+
+  const std::size_t counts[kTable2Categories] = {
+      10, 10, bulk_per_category, bulk_per_category, bulk_per_category, 5};
+
+  Workload workload;
+  workload.topics.reserve(total_topics);
+  workload.category.reserve(total_topics);
+
+  TopicId next_id = 0;
+  for (int cat = 0; cat < kTable2Categories; ++cat) {
+    const std::size_t fanout = proxy_fanout(cat);
+    ProxySpec proxy;
+    for (std::size_t i = 0; i < counts[cat]; ++i) {
+      TopicSpec spec = table2_spec(cat, next_id);
+      workload.topics.push_back(spec);
+      workload.category.push_back(cat);
+      if (proxy.topics.empty()) proxy.period = spec.period;
+      proxy.topics.push_back(next_id);
+      if (proxy.topics.size() == fanout) {
+        workload.proxies.push_back(std::move(proxy));
+        proxy = ProxySpec{};
+      }
+      ++next_id;
+    }
+    if (!proxy.topics.empty()) workload.proxies.push_back(std::move(proxy));
+  }
+
+  if (retention_bump) {
+    workload.topics = with_extra_retention(workload.topics, params, 1);
+  }
+  return workload;
+}
+
+Workload make_custom_workload(const std::vector<TopicSpec>& topics,
+                              const std::vector<int>& categories,
+                              std::size_t max_fanout) {
+  assert(categories.size() == topics.size());
+  Workload workload;
+  workload.topics = topics;
+  workload.category = categories;
+  ProxySpec proxy;
+  for (const auto& spec : topics) {
+    assert(spec.id == static_cast<TopicId>(&spec - topics.data()) &&
+           "topic ids must be dense");
+    const bool break_proxy =
+        !proxy.topics.empty() &&
+        (proxy.period != spec.period || proxy.topics.size() >= max_fanout);
+    if (break_proxy) {
+      workload.proxies.push_back(std::move(proxy));
+      proxy = ProxySpec{};
+    }
+    if (proxy.topics.empty()) proxy.period = spec.period;
+    proxy.topics.push_back(spec.id);
+  }
+  if (!proxy.topics.empty()) workload.proxies.push_back(std::move(proxy));
+  return workload;
+}
+
+}  // namespace frame::sim

@@ -1,0 +1,61 @@
+// Workload generation for the paper's evaluation (Section VI).
+//
+// The evaluated topic sets follow Table 2: ten topics each in categories 0
+// and 1, five topics in category 5, and categories 2-4 scaled equally to
+// reach total counts of 1525, 4525, 7525, 10525 and 13525 topics.
+// Publishers are proxies: categories 0-1 use proxies of ten topics,
+// categories 2-4 proxies of fifty topics, and each category-5 publisher
+// publishes one topic.  Payloads are 16 bytes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/topic.hpp"
+
+namespace frame::sim {
+
+struct ProxySpec {
+  Duration period = 0;             ///< shared by all its topics
+  std::vector<TopicId> topics;
+};
+
+struct Workload {
+  std::vector<TopicSpec> topics;   ///< dense ids 0..n-1
+  std::vector<int> category;       ///< parallel to topics
+  std::vector<ProxySpec> proxies;
+
+  std::size_t topic_count() const { return topics.size(); }
+  /// Topics belonging to `cat`.
+  std::vector<TopicId> topics_in_category(int cat) const;
+  /// A representative topic of `cat` (the first one).
+  TopicId representative(int cat) const;
+  /// Aggregate message rate (messages per second).
+  double message_rate() const;
+};
+
+/// Builds the Table-2 workload with `total_topics` topics.  `total_topics`
+/// must satisfy total = 25 + 3k for integer k >= 0 (the paper's totals do).
+/// When `retention_bump` is set, Ni is raised by one for every topic whose
+/// replication Proposition 1 would otherwise require — the FRAME+
+/// workload transformation.
+Workload make_table2_workload(std::size_t total_topics,
+                              const TimingParams& params,
+                              bool retention_bump = false);
+
+/// The paper's five workload sizes.
+inline constexpr std::size_t kPaperWorkloads[] = {1525, 4525, 7525, 10525,
+                                                  13525};
+
+/// Number of topics per proxy for a category.
+std::size_t proxy_fanout(int category);
+
+/// Builds a Workload from an arbitrary dense topic list (e.g. one parsed
+/// from a deployment file).  `category` labels group the result rows; pass
+/// the config file's `groups`.  Topics are packed into publisher proxies
+/// of up to `max_fanout` same-period topics, preserving order.
+Workload make_custom_workload(const std::vector<TopicSpec>& topics,
+                              const std::vector<int>& categories,
+                              std::size_t max_fanout = 50);
+
+}  // namespace frame::sim

@@ -1,0 +1,229 @@
+// BackupEngine promotion/pruning, PublisherEngine batching/retention, and
+// SubscriberEngine accounting.
+#include <gtest/gtest.h>
+
+#include "broker/backup_engine.hpp"
+#include "broker/failure_detector.hpp"
+#include "broker/publisher_engine.hpp"
+#include "broker/subscriber_engine.hpp"
+
+namespace frame {
+namespace {
+
+Message msg_of(TopicId topic, SeqNo seq, TimePoint created = 0) {
+  return make_test_message(topic, seq, created);
+}
+
+// ------------------------------------------------------------ BackupEngine
+
+TEST(BackupEngine, PromotionReturnsOnlyLiveCopies) {
+  BackupEngine backup(broker_config(ConfigName::kFrame));
+  backup.configure(3);
+  backup.on_replica(msg_of(0, 1), 0);
+  backup.on_replica(msg_of(0, 2), 0);
+  backup.on_replica(msg_of(1, 1), 0);
+  backup.on_prune(0, 1);
+  backup.on_prune(2, 7);  // never replicated: no-op
+
+  const auto recovery = backup.promote();
+  ASSERT_EQ(recovery.size(), 2u);
+  EXPECT_EQ(recovery[0].topic, 0u);
+  EXPECT_EQ(recovery[0].seq, 2u);
+  EXPECT_EQ(recovery[1].topic, 1u);
+  EXPECT_EQ(backup.stats().replicas_received, 3u);
+  EXPECT_EQ(backup.stats().prunes_received, 2u);
+  EXPECT_EQ(backup.stats().prunes_applied, 1u);
+  EXPECT_EQ(backup.stats().recovered, 2u);
+  EXPECT_EQ(backup.stats().skipped_discarded, 1u);
+  // The store is cleared by promotion.
+  EXPECT_EQ(backup.store().size(), 0u);
+}
+
+TEST(BackupEngine, FullyPrunedBufferRecoversNothing) {
+  BackupEngine backup(broker_config(ConfigName::kFrame));
+  backup.configure(1);
+  for (SeqNo seq = 1; seq <= 5; ++seq) {
+    backup.on_replica(msg_of(0, seq), 0);
+    backup.on_prune(0, seq);
+  }
+  EXPECT_TRUE(backup.promote().empty());
+}
+
+// --------------------------------------------------------- PublisherEngine
+
+TEST(PublisherEngine, BatchCreatesOneMessagePerTopic) {
+  std::vector<TopicSpec> topics{
+      {0, milliseconds(50), milliseconds(50), 0, 2, Destination::kEdge},
+      {1, milliseconds(50), milliseconds(50), 3, 0, Destination::kEdge},
+  };
+  PublisherEngine publisher(1, topics, milliseconds(50));
+  const auto batch1 = publisher.create_batch(milliseconds(5));
+  ASSERT_EQ(batch1.size(), 2u);
+  EXPECT_EQ(batch1[0].topic, 0u);
+  EXPECT_EQ(batch1[0].seq, 1u);
+  EXPECT_EQ(batch1[0].created_at, milliseconds(5));
+  EXPECT_EQ(batch1[1].topic, 1u);
+
+  const auto batch2 = publisher.create_batch(milliseconds(55));
+  EXPECT_EQ(batch2[0].seq, 2u);
+  EXPECT_EQ(publisher.messages_created(), 4u);
+  EXPECT_EQ(publisher.last_seq(0), 2u);
+  EXPECT_EQ(publisher.last_seq(99), 0u);
+}
+
+TEST(PublisherEngine, FailoverResendsRetainedPerTopicDepth) {
+  std::vector<TopicSpec> topics{
+      {0, milliseconds(50), milliseconds(50), 0, 2, Destination::kEdge},
+      {1, milliseconds(50), milliseconds(50), 3, 0, Destination::kEdge},
+  };
+  PublisherEngine publisher(1, topics, milliseconds(50));
+  for (int i = 0; i < 5; ++i) {
+    publisher.create_batch(milliseconds(50) * (i + 1));
+  }
+  const auto resend = publisher.failover_resend();
+  // Topic 0 retains Ni = 2 (seqs 4, 5); topic 1 retains nothing.
+  ASSERT_EQ(resend.size(), 2u);
+  EXPECT_EQ(resend[0].topic, 0u);
+  EXPECT_TRUE(resend[0].recovered);
+  EXPECT_TRUE(resend[1].recovered);
+  EXPECT_EQ(resend[0].seq, 4u);
+  EXPECT_EQ(resend[1].seq, 5u);
+}
+
+TEST(PublisherEngine, PayloadSizeConfigurable) {
+  std::vector<TopicSpec> topics{
+      {0, milliseconds(50), milliseconds(50), 0, 1, Destination::kEdge}};
+  PublisherEngine publisher(1, topics, milliseconds(50), 32);
+  const auto batch = publisher.create_batch(0);
+  EXPECT_EQ(batch[0].payload_size, 32);
+}
+
+// -------------------------------------------------------- SubscriberEngine
+
+TopicSpec sub_spec(TopicId id) {
+  return TopicSpec{id, milliseconds(100), milliseconds(100), 0, 1,
+                   Destination::kEdge};
+}
+
+TEST(SubscriberEngine, DeduplicatesBySequence) {
+  SubscriberEngine sub(1);
+  sub.add_topic(sub_spec(0));
+  EXPECT_TRUE(sub.on_deliver(msg_of(0, 1), milliseconds(1)));
+  EXPECT_FALSE(sub.on_deliver(msg_of(0, 1), milliseconds(2)));
+  EXPECT_TRUE(sub.on_deliver(msg_of(0, 2), milliseconds(3)));
+  EXPECT_EQ(sub.unique_count(0), 2u);
+  EXPECT_EQ(sub.duplicate_count(0), 1u);
+  EXPECT_TRUE(sub.delivered(0, 1));
+  EXPECT_FALSE(sub.delivered(0, 3));
+}
+
+TEST(SubscriberEngine, UnsubscribedTopicIgnored) {
+  SubscriberEngine sub(1);
+  EXPECT_FALSE(sub.on_deliver(msg_of(9, 1), 0));
+  EXPECT_EQ(sub.total_unique(), 0u);
+}
+
+TEST(SubscriberEngine, LossStatsFindConsecutiveRuns) {
+  SubscriberEngine sub(1);
+  sub.add_topic(sub_spec(0));
+  // Deliver 1,2,5,9 of 1..10: losses 3,4 (run 2), 6,7,8 (run 3), 10 (run 1).
+  for (const SeqNo seq : {1, 2, 5, 9}) sub.on_deliver(msg_of(0, seq), 0);
+  const LossStats stats = sub.loss_stats(0, 1, 10);
+  EXPECT_EQ(stats.expected, 10u);
+  EXPECT_EQ(stats.total_losses, 6u);
+  EXPECT_EQ(stats.max_consecutive_losses, 3u);
+}
+
+TEST(SubscriberEngine, LossStatsPerfectDelivery) {
+  SubscriberEngine sub(1);
+  sub.add_topic(sub_spec(0));
+  for (SeqNo seq = 1; seq <= 20; ++seq) sub.on_deliver(msg_of(0, seq), 0);
+  const LossStats stats = sub.loss_stats(0, 1, 20);
+  EXPECT_EQ(stats.total_losses, 0u);
+  EXPECT_EQ(stats.max_consecutive_losses, 0u);
+}
+
+TEST(SubscriberEngine, LossStatsEmptyRange) {
+  SubscriberEngine sub(1);
+  sub.add_topic(sub_spec(0));
+  const LossStats stats = sub.loss_stats(0, 5, 4);
+  EXPECT_EQ(stats.expected, 0u);
+}
+
+TEST(SubscriberEngine, DeadlineAccountingWithinWindow) {
+  SubscriberEngine sub(1);
+  sub.add_topic(sub_spec(0));  // Di = 100 ms
+  sub.set_measure_window(seconds(1), seconds(2));
+
+  // Created before the window: not counted.
+  sub.on_deliver(msg_of(0, 1, milliseconds(500)), milliseconds(550));
+  // In window, on time.
+  sub.on_deliver(msg_of(0, 2, milliseconds(1100)), milliseconds(1150));
+  // In window, late (150 ms > 100 ms).
+  sub.on_deliver(msg_of(0, 3, milliseconds(1200)), milliseconds(1350));
+  // Created after the window end: not counted.
+  sub.on_deliver(msg_of(0, 4, seconds(2)), seconds(2) + milliseconds(10));
+
+  EXPECT_EQ(sub.delivered_in_window(0), 2u);
+  EXPECT_EQ(sub.on_time_in_window(0), 1u);
+}
+
+TEST(SubscriberEngine, WatchedTopicRecordsTrace) {
+  SubscriberEngine sub(1);
+  sub.add_topic(sub_spec(0));
+  sub.add_topic(sub_spec(1));
+  sub.watch(0);
+  Message watched = msg_of(0, 1, milliseconds(10));
+  watched.dispatched_at = milliseconds(14);
+  watched.recovered = true;
+  sub.on_deliver(watched, milliseconds(15));
+  sub.on_deliver(msg_of(1, 1, milliseconds(10)), milliseconds(15));
+
+  const auto& trace = sub.trace(0);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].seq, 1u);
+  EXPECT_EQ(trace[0].latency, milliseconds(5));
+  EXPECT_EQ(trace[0].delta_bs, milliseconds(1));
+  EXPECT_TRUE(trace[0].recovered);
+  EXPECT_TRUE(sub.trace(1).empty());
+  EXPECT_TRUE(sub.trace(42).empty());
+}
+
+// ----------------------------------------------------- PollingFailureDetector
+
+TEST(FailureDetector, SuspectsAfterMissedReplies) {
+  PollingFailureDetector detector(milliseconds(10), 3);
+  detector.start(0);
+  EXPECT_FALSE(detector.suspected(milliseconds(25)));
+  EXPECT_FALSE(detector.suspected(milliseconds(30)));
+  EXPECT_TRUE(detector.suspected(milliseconds(31)));
+}
+
+TEST(FailureDetector, RepliesKeepItQuiet) {
+  PollingFailureDetector detector(milliseconds(10), 3);
+  detector.start(0);
+  detector.on_reply(milliseconds(25));
+  EXPECT_FALSE(detector.suspected(milliseconds(50)));
+  EXPECT_TRUE(detector.suspected(milliseconds(56)));
+}
+
+TEST(FailureDetector, NotStartedNeverSuspects) {
+  PollingFailureDetector detector(milliseconds(10), 3);
+  EXPECT_FALSE(detector.suspected(seconds(100)));
+}
+
+TEST(FailureDetector, StaleReplyIgnored) {
+  PollingFailureDetector detector(milliseconds(10), 3);
+  detector.start(milliseconds(100));
+  detector.on_reply(milliseconds(50));  // older than start
+  EXPECT_FALSE(detector.suspected(milliseconds(120)));
+  EXPECT_TRUE(detector.suspected(milliseconds(131)));
+}
+
+TEST(FailureDetector, DetectionBound) {
+  PollingFailureDetector detector(milliseconds(10), 4);
+  EXPECT_EQ(detector.detection_bound(), milliseconds(50));
+}
+
+}  // namespace
+}  // namespace frame

@@ -1,0 +1,160 @@
+// Parameterized property sweeps over the PrimaryEngine across every
+// Table-2 category and configuration: the Table-3 state machine must obey
+// its invariants whatever the interleaving of dispatch and replicate jobs.
+#include <gtest/gtest.h>
+
+#include "broker/primary_engine.hpp"
+#include "common/rng.hpp"
+
+namespace frame {
+namespace {
+
+TimingParams params_3d() {
+  TimingParams params;
+  params.delta_pb = 0;
+  params.delta_bs_edge = milliseconds(1);
+  params.delta_bs_cloud = milliseconds(20);
+  params.delta_bb = microseconds(50);
+  params.failover_x = milliseconds(50);
+  return params;
+}
+
+std::vector<TopicSpec> table2_topics() {
+  std::vector<TopicSpec> specs;
+  for (int cat = 0; cat < kTable2Categories; ++cat) {
+    specs.push_back(table2_spec(cat, static_cast<TopicId>(cat)));
+  }
+  return specs;
+}
+
+struct SweepParam {
+  ConfigName config;
+  std::uint64_t seed;
+};
+
+class EngineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Feed 200 random arrivals across all categories, execute jobs in random
+// interleavings, and check the global invariants.
+TEST_P(EngineSweep, Table3InvariantsUnderRandomInterleaving) {
+  const SweepParam& param = GetParam();
+  Rng rng(param.seed);
+  std::vector<TopicSpec> topics = table2_topics();
+  if (uses_retention_bump(param.config)) {
+    // FRAME+ is FRAME plus the workload-level +1 retention bump.
+    for (auto& spec : topics) {
+      if (needs_replication(spec, params_3d())) spec.retention += 1;
+    }
+  }
+  PrimaryEngine engine(broker_config(param.config), std::move(topics),
+                       params_3d());
+  for (TopicId topic = 0; topic < kTable2Categories; ++topic) {
+    engine.subscribe(topic, 100 + topic % 2);
+  }
+
+  std::vector<Job> pending;
+  SeqNo next_seq[kTable2Categories] = {1, 1, 1, 1, 1, 1};
+  std::uint64_t deliveries = 0;
+  std::uint64_t replicas = 0;
+  std::uint64_t prunes = 0;
+  TimePoint now = 0;
+
+  for (int step = 0; step < 1000; ++step) {
+    const double dice = rng.next_double();
+    if (dice < 0.4 || (pending.empty() && !engine.has_jobs())) {
+      // New arrival on a random topic.
+      const auto topic = static_cast<TopicId>(rng.next_below(6));
+      now += microseconds(500);
+      engine.on_publish(
+          make_test_message(topic, next_seq[topic]++, now - microseconds(300)),
+          now);
+    } else if (dice < 0.7 && engine.has_jobs()) {
+      // Pull some jobs into the "in flight" set (simulating workers).
+      if (auto job = engine.next_job()) pending.push_back(*job);
+    } else if (!pending.empty()) {
+      // Execute a random in-flight job (models out-of-order completion).
+      const std::size_t pick = rng.next_below(pending.size());
+      const Job job = pending[pick];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+      if (job.kind == JobKind::kDispatch) {
+        const auto effect = engine.execute_dispatch(job);
+        if (effect.executed) {
+          ++deliveries;
+          EXPECT_FALSE(effect.subscribers.empty());
+          if (effect.prune_backup) ++prunes;
+        }
+      } else {
+        const auto effect = engine.execute_replicate(job);
+        if (effect.executed) ++replicas;
+      }
+    }
+  }
+
+  const auto& stats = engine.stats();
+  // Every executed job is accounted; aborts + executions never exceed
+  // created replicate jobs.
+  EXPECT_EQ(stats.dispatches_executed, deliveries);
+  EXPECT_EQ(stats.replications_executed, replicas);
+  EXPECT_LE(stats.replications_executed + stats.replications_aborted +
+                stats.replicate_jobs_cancelled,
+            stats.replicate_jobs_created);
+  EXPECT_EQ(stats.prune_requests, prunes);
+
+  // A prune can only follow a replica (paper Table 3: Discard is set on
+  // copies that exist in the Backup Buffer).
+  EXPECT_LE(stats.prune_requests, stats.replications_executed);
+
+  // Coordination-off configurations never abort or prune.
+  if (!broker_config(param.config).coordination) {
+    EXPECT_EQ(stats.replications_aborted, 0u);
+    EXPECT_EQ(stats.prune_requests, 0u);
+    EXPECT_EQ(stats.replicate_jobs_cancelled, 0u);
+  }
+  // FIFO configurations replicate everything that is not best-effort:
+  // twice the arrivals minus best-effort minus dispatch-only jobs.
+  if (!broker_config(param.config).selective_replication) {
+    EXPECT_GT(stats.replicate_jobs_created, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineSweep,
+    ::testing::Values(SweepParam{ConfigName::kFrame, 1},
+                      SweepParam{ConfigName::kFrame, 2},
+                      SweepParam{ConfigName::kFrame, 3},
+                      SweepParam{ConfigName::kFcfs, 1},
+                      SweepParam{ConfigName::kFcfs, 2},
+                      SweepParam{ConfigName::kFcfsMinus, 1},
+                      SweepParam{ConfigName::kFcfsMinus, 2},
+                      SweepParam{ConfigName::kFramePlus, 1}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name(to_string(info.param.config));
+      for (auto& c : name) {
+        if (c == '+') c = 'P';
+        if (c == '-') c = 'M';
+      }
+      return name + "_s" + std::to_string(info.param.seed);
+    });
+
+// Deadline-ordering property: for any pair of jobs popped consecutively
+// from a FRAME engine with simultaneous arrivals, EDF order holds.
+TEST(EngineProperties, SimultaneousArrivalsPopInDeadlineOrder) {
+  PrimaryEngine engine(broker_config(ConfigName::kFrame), table2_topics(),
+                       params_3d());
+  for (TopicId topic = 0; topic < kTable2Categories; ++topic) {
+    engine.subscribe(topic, 100);
+    engine.on_publish(make_test_message(topic, 1, 0), 0);
+  }
+  TimePoint last = -1;
+  int count = 0;
+  while (auto job = engine.next_job()) {
+    EXPECT_GE(job->deadline, last);
+    last = job->deadline;
+    ++count;
+  }
+  // 6 dispatch jobs + replicate jobs for categories 2 and 5.
+  EXPECT_EQ(count, 8);
+}
+
+}  // namespace
+}  // namespace frame

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+
+namespace frame {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.full());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_FALSE(ring.pop_front().has_value());
+}
+
+TEST(RingBuffer, PushPopFifoOrder) {
+  RingBuffer<int> ring(4);
+  for (int i = 1; i <= 3; ++i) EXPECT_FALSE(ring.push_back(i).has_value());
+  EXPECT_EQ(*ring.pop_front(), 1);
+  EXPECT_EQ(*ring.pop_front(), 2);
+  EXPECT_EQ(*ring.pop_front(), 3);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, OverwriteEvictsOldest) {
+  RingBuffer<int> ring(3);
+  ring.push_back(1);
+  ring.push_back(2);
+  ring.push_back(3);
+  EXPECT_TRUE(ring.full());
+  const auto evicted = ring.push_back(4);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 1);
+  EXPECT_EQ(ring.front(), 2);
+  EXPECT_EQ(ring.back(), 4);
+  EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(RingBuffer, ZeroCapacityEvictsEverything) {
+  RingBuffer<int> ring(0);
+  const auto evicted = ring.push_back(7);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 7);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, IndexedAccessOldestFirst) {
+  RingBuffer<int> ring(3);
+  ring.push_back(10);
+  ring.push_back(20);
+  ring.push_back(30);
+  ring.push_back(40);  // evicts 10
+  EXPECT_EQ(ring.at(0), 20);
+  EXPECT_EQ(ring.at(1), 30);
+  EXPECT_EQ(ring.at(2), 40);
+}
+
+TEST(RingBuffer, ForEachVisitsInOrder) {
+  RingBuffer<int> ring(4);
+  for (int i = 0; i < 6; ++i) ring.push_back(i);
+  std::vector<int> seen;
+  ring.for_each([&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<std::string> ring(2);
+  ring.push_back("a");
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  ring.push_back("b");
+  EXPECT_EQ(ring.front(), "b");
+}
+
+TEST(RingBuffer, MoveOnlyTypesWork) {
+  RingBuffer<std::unique_ptr<int>> ring(2);
+  ring.push_back(std::make_unique<int>(1));
+  ring.push_back(std::make_unique<int>(2));
+  auto evicted = ring.push_back(std::make_unique<int>(3));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(**evicted, 1);
+  EXPECT_EQ(*ring.front(), 2);
+}
+
+// Property: the ring behaves exactly like a size-bounded deque model under
+// random interleavings of push/pop.
+class RingBufferModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingBufferModel, MatchesBoundedDeque) {
+  Rng rng(GetParam());
+  const std::size_t capacity = 1 + rng.next_below(8);
+  RingBuffer<int> ring(capacity);
+  std::deque<int> model;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.next_double() < 0.6) {
+      const int value = static_cast<int>(rng.next_below(1000));
+      const auto evicted = ring.push_back(value);
+      model.push_back(value);
+      if (model.size() > capacity) {
+        ASSERT_TRUE(evicted.has_value());
+        EXPECT_EQ(*evicted, model.front());
+        model.pop_front();
+      } else {
+        EXPECT_FALSE(evicted.has_value());
+      }
+    } else {
+      const auto popped = ring.pop_front();
+      if (model.empty()) {
+        EXPECT_FALSE(popped.has_value());
+      } else {
+        ASSERT_TRUE(popped.has_value());
+        EXPECT_EQ(*popped, model.front());
+        model.pop_front();
+      }
+    }
+    ASSERT_EQ(ring.size(), model.size());
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      ASSERT_EQ(ring.at(i), model[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingBufferModel,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace frame

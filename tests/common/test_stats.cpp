@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace frame {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ci95_half_width(), 0.0);
+}
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStats, Ci95ShrinksWithSamples) {
+  OnlineStats small;
+  OnlineStats large;
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) small.add(rng.normal(0, 1));
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal(0, 1));
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(OnlineStats, MergeEqualsCombinedStream) {
+  Rng rng(17);
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats combined;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-3, 9);
+    (i % 2 == 0 ? a : b).add(x);
+    combined.add(x);
+  }
+  OnlineStats merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_NEAR(merged.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), combined.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.min(), combined.min());
+  EXPECT_DOUBLE_EQ(merged.max(), combined.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a;
+  OnlineStats empty;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats merged = a;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), 2u);
+  OnlineStats other;
+  other.merge(a);
+  EXPECT_DOUBLE_EQ(other.mean(), 2.0);
+}
+
+TEST(SampleSet, ExactPercentiles) {
+  SampleSet samples;
+  for (int i = 100; i >= 1; --i) samples.add(i);
+  EXPECT_DOUBLE_EQ(samples.min(), 1.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 100.0);
+  EXPECT_NEAR(samples.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(samples.percentile(99), 99.01, 1e-9);
+  EXPECT_NEAR(samples.mean(), 50.5, 1e-9);
+}
+
+TEST(SampleSet, PercentileOfEmptyIsZero) {
+  SampleSet samples;
+  EXPECT_DOUBLE_EQ(samples.percentile(99), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.add(0.5);    // bin 0
+  histogram.add(9.99);   // bin 9
+  histogram.add(-5.0);   // clamps to bin 0
+  histogram.add(42.0);   // clamps to bin 9
+  EXPECT_EQ(histogram.bin(0), 2u);
+  EXPECT_EQ(histogram.bin(9), 2u);
+  EXPECT_EQ(histogram.total(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.bin_low(5), 5.0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NormalRoughMoments) {
+  Rng rng(7);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialRoughMean) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace frame

@@ -1,0 +1,176 @@
+// Message Buffer / Backup Buffer / Retention Buffer tests.
+#include <gtest/gtest.h>
+
+#include "core/backup_store.hpp"
+#include "core/message_store.hpp"
+#include "core/retention_buffer.hpp"
+
+namespace frame {
+namespace {
+
+Message msg_of(TopicId topic, SeqNo seq) {
+  return make_test_message(topic, seq, static_cast<TimePoint>(seq) * 1000);
+}
+
+// ------------------------------------------------------------ MessageStore
+
+TEST(MessageStore, InsertAndFind) {
+  MessageStore store(8);
+  store.configure(3);
+  store.insert(msg_of(1, 1));
+  store.insert(msg_of(1, 2));
+  ASSERT_NE(store.find(1, 1), nullptr);
+  ASSERT_NE(store.find(1, 2), nullptr);
+  EXPECT_EQ(store.find(1, 3), nullptr);
+  EXPECT_EQ(store.find(2, 1), nullptr);
+  EXPECT_EQ(store.find(9, 1), nullptr);  // unknown topic
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(MessageStore, FlagsPersistAcrossLookups) {
+  MessageStore store(8);
+  store.configure(1);
+  store.insert(msg_of(0, 1));
+  store.find(0, 1)->dispatched = true;
+  EXPECT_TRUE(store.find(0, 1)->dispatched);
+  EXPECT_FALSE(store.find(0, 1)->replicated);
+}
+
+TEST(MessageStore, EvictionReportsOldestEntry) {
+  MessageStore store(2);
+  store.configure(1);
+  store.insert(msg_of(0, 1));
+  store.insert(msg_of(0, 2));
+  const auto evicted = store.insert(msg_of(0, 3));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->msg.seq, 1u);
+  EXPECT_EQ(store.find(0, 1), nullptr);
+  EXPECT_NE(store.find(0, 3), nullptr);
+}
+
+TEST(MessageStore, FindHandlesGappedSequences) {
+  // Retention resends after failover can skip sequence numbers.
+  MessageStore store(8);
+  store.configure(1);
+  store.insert(msg_of(0, 10));
+  store.insert(msg_of(0, 14));
+  store.insert(msg_of(0, 15));
+  EXPECT_NE(store.find(0, 10), nullptr);
+  EXPECT_NE(store.find(0, 14), nullptr);
+  EXPECT_EQ(store.find(0, 12), nullptr);
+}
+
+TEST(MessageStore, ClearEmptiesAllTopics) {
+  MessageStore store(4);
+  store.configure(2);
+  store.insert(msg_of(0, 1));
+  store.insert(msg_of(1, 1));
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.find(0, 1), nullptr);
+}
+
+// ------------------------------------------------------------- BackupStore
+
+TEST(BackupStore, InsertPruneAndLiveSet) {
+  BackupStore store(10);
+  store.configure(2);
+  store.insert(msg_of(0, 1), 100);
+  store.insert(msg_of(0, 2), 200);
+  store.insert(msg_of(1, 1), 300);
+  EXPECT_EQ(store.live_count(), 3u);
+
+  EXPECT_TRUE(store.prune(0, 1));
+  EXPECT_EQ(store.live_count(), 2u);
+  EXPECT_EQ(store.live_count(0), 1u);
+
+  std::vector<SeqNo> live;
+  store.for_each_live(
+      [&](const BackupEntry& entry) { live.push_back(entry.msg.seq); });
+  EXPECT_EQ(live.size(), 2u);
+}
+
+TEST(BackupStore, PruneUnknownEntryIsNoop) {
+  BackupStore store(4);
+  store.configure(1);
+  EXPECT_FALSE(store.prune(0, 7));
+  store.insert(msg_of(0, 1), 0);
+  EXPECT_FALSE(store.prune(0, 2));
+  EXPECT_FALSE(store.prune(5, 1));  // unknown topic
+  EXPECT_EQ(store.live_count(), 1u);
+}
+
+TEST(BackupStore, RingEvictsOldestReplica) {
+  // The paper sizes the Backup Buffer at ten entries per topic.
+  BackupStore store(BackupStore::kDefaultPerTopicCapacity);
+  store.configure(1);
+  for (SeqNo seq = 1; seq <= 15; ++seq) store.insert(msg_of(0, seq), 0);
+  EXPECT_EQ(store.size(), 10u);
+  std::vector<SeqNo> live;
+  store.for_each_live(
+      [&](const BackupEntry& entry) { live.push_back(entry.msg.seq); });
+  ASSERT_EQ(live.size(), 10u);
+  EXPECT_EQ(live.front(), 6u);
+  EXPECT_EQ(live.back(), 15u);
+}
+
+TEST(BackupStore, DiscardedEntriesSkippedAfterEviction) {
+  BackupStore store(3);
+  store.configure(1);
+  store.insert(msg_of(0, 1), 0);
+  store.insert(msg_of(0, 2), 0);
+  store.prune(0, 2);
+  store.insert(msg_of(0, 3), 0);
+  store.insert(msg_of(0, 4), 0);  // evicts seq 1
+  std::vector<SeqNo> live;
+  store.for_each_live(
+      [&](const BackupEntry& entry) { live.push_back(entry.msg.seq); });
+  EXPECT_EQ(live, (std::vector<SeqNo>{3, 4}));
+}
+
+TEST(BackupStore, ClearDropsEverything) {
+  BackupStore store(4);
+  store.configure(1);
+  store.insert(msg_of(0, 1), 0);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.live_count(), 0u);
+}
+
+// --------------------------------------------------------- RetentionBuffer
+
+TEST(RetentionBuffer, KeepsOnlyLatestN) {
+  RetentionBuffer retention;
+  retention.add_topic(0, 2);
+  for (SeqNo seq = 1; seq <= 5; ++seq) retention.retain(msg_of(0, seq));
+  const auto kept = retention.retained(0);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].seq, 4u);
+  EXPECT_EQ(kept[1].seq, 5u);
+}
+
+TEST(RetentionBuffer, ZeroRetentionKeepsNothing) {
+  RetentionBuffer retention;
+  retention.add_topic(0, 0);
+  retention.retain(msg_of(0, 1));
+  EXPECT_TRUE(retention.retained(0).empty());
+}
+
+TEST(RetentionBuffer, UnregisteredTopicIgnored) {
+  RetentionBuffer retention;
+  retention.retain(msg_of(3, 1));
+  EXPECT_TRUE(retention.retained(3).empty());
+}
+
+TEST(RetentionBuffer, AllRetainedSpansTopics) {
+  RetentionBuffer retention;
+  retention.add_topic(0, 1);
+  retention.add_topic(1, 2);
+  retention.retain(msg_of(0, 1));
+  retention.retain(msg_of(1, 1));
+  retention.retain(msg_of(1, 2));
+  EXPECT_EQ(retention.all_retained().size(), 3u);
+}
+
+}  // namespace
+}  // namespace frame

@@ -1,0 +1,165 @@
+// Capacity planning and admission control tests, including the prediction
+// of the paper's overload crossovers from first principles.
+#include <gtest/gtest.h>
+
+#include "core/capacity.hpp"
+#include "core/differentiation.hpp"
+
+namespace frame {
+namespace {
+
+TimingParams params_3d() {
+  TimingParams params;
+  params.delta_pb = 0;
+  params.delta_bs_edge = milliseconds(1);
+  params.delta_bs_cloud = milliseconds(20);
+  params.delta_bb = microseconds(50);
+  params.failover_x = milliseconds(50);
+  return params;
+}
+
+std::vector<TopicSpec> table2_workload(std::size_t total) {
+  // Mirrors sim::make_table2_workload's counts without the proxy grouping.
+  const std::size_t bulk = (total - 25) / 3;
+  const std::size_t counts[6] = {10, 10, bulk, bulk, bulk, 5};
+  std::vector<TopicSpec> specs;
+  TopicId id = 0;
+  for (int cat = 0; cat < 6; ++cat) {
+    for (std::size_t i = 0; i < counts[cat]; ++i) {
+      specs.push_back(table2_spec(cat, id++));
+    }
+  }
+  return specs;
+}
+
+TEST(Capacity, TopicUtilizationReflectsReplicationDecision) {
+  const TimingParams params = params_3d();
+  const DeliveryCostModel costs;
+  // Category 0 is not replicated under Proposition 1: dispatch only.
+  const double cat0 =
+      topic_utilization(table2_spec(0, 0), params, costs, true);
+  EXPECT_NEAR(cat0, 20.0 * to_seconds(costs.dispatch), 1e-12);
+  // Category 2 is replicated: dispatch + replicate + coordination.
+  const double cat2 =
+      topic_utilization(table2_spec(2, 0), params, costs, true);
+  EXPECT_NEAR(cat2,
+              10.0 * to_seconds(costs.dispatch + costs.replicate +
+                                costs.coordination),
+              1e-12);
+  // Without selective replication, category 0 pays the full cost too.
+  const double cat0_fcfs =
+      topic_utilization(table2_spec(0, 0), params, costs, false);
+  EXPECT_GT(cat0_fcfs, cat0 * 10);
+  // Best-effort never replicates under either policy.
+  EXPECT_DOUBLE_EQ(topic_utilization(table2_spec(4, 0), params, costs, true),
+                   topic_utilization(table2_spec(4, 0), params, costs,
+                                     false));
+}
+
+// The analysis predicts the evaluation's crossovers: FCFS saturates at
+// 7525 topics while FRAME stays schedulable through 10525 and sits at the
+// edge at 13525 (Tables 4-5).
+TEST(Capacity, PredictsPaperCrossovers) {
+  const TimingParams params = params_3d();
+  const DeliveryCostModel costs;
+
+  const auto frame_util = [&](std::size_t total) {
+    return analyze_capacity(table2_workload(total), params, costs, true)
+        .utilization;
+  };
+  const auto fcfs_util = [&](std::size_t total) {
+    return analyze_capacity(table2_workload(total), params, costs, false)
+        .utilization;
+  };
+
+  EXPECT_LT(fcfs_util(4525), 1.0);
+  EXPECT_GT(fcfs_util(7525), 1.0);   // FCFS collapses from 7525 on
+  EXPECT_LT(frame_util(10525), 1.0); // FRAME healthy through 10525
+  EXPECT_GT(frame_util(13525), 0.95);
+  EXPECT_LT(frame_util(13525), 1.10);  // marginal at 13525
+}
+
+TEST(Capacity, FramePlusHasLargeHeadroom) {
+  const TimingParams params = params_3d();
+  const DeliveryCostModel costs;
+  const auto bumped = with_extra_retention(table2_workload(13525), params, 1);
+  const CapacityReport report = analyze_capacity(bumped, params, costs, true);
+  EXPECT_EQ(report.replicated_topics, 0u);
+  EXPECT_LT(report.utilization, 0.25);
+  EXPECT_TRUE(report.schedulable);
+}
+
+TEST(Capacity, ReportFieldsConsistent) {
+  const TimingParams params = params_3d();
+  const DeliveryCostModel costs;
+  const auto specs = table2_workload(1525);
+  const CapacityReport report = analyze_capacity(specs, params, costs, true);
+  EXPECT_NEAR(report.message_rate, 15410.0, 1e-6);
+  // Categories 2 and 5 replicate: 500 + 5 topics.
+  EXPECT_EQ(report.replicated_topics, 505u);
+  EXPECT_NEAR(report.replicated_share, (500 * 10.0 + 5 * 2.0) / 15410.0,
+              1e-9);
+}
+
+TEST(Admission, AdmitsUntilCapacityExhausted) {
+  AdmissionController controller(params_3d(), DeliveryCostModel{}, true);
+  TopicId id = 0;
+  // Each category-2-style topic costs 10 msg/s * 40.25 us / 2 cores.
+  std::size_t admitted = 0;
+  while (admitted < 20000) {
+    const Status status = controller.admit(table2_spec(2, id++));
+    if (!status.is_ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kRejected);
+      break;
+    }
+    ++admitted;
+  }
+  EXPECT_GT(admitted, 4000u);
+  EXPECT_LT(admitted, 20000u);
+  EXPECT_LE(controller.utilization(), 1.0);
+  EXPECT_EQ(controller.admitted_count(), admitted);
+}
+
+TEST(Admission, RejectsTimingInfeasibleTopics) {
+  AdmissionController controller(params_3d(), DeliveryCostModel{}, true);
+  TopicSpec bad{0, milliseconds(50), milliseconds(50), 0, 0,
+                Destination::kEdge};  // Li=0, Ni=0: Dr < 0
+  EXPECT_FALSE(controller.admit(bad).is_ok());
+  EXPECT_EQ(controller.admitted_count(), 0u);
+}
+
+TEST(Admission, RejectsDuplicateIds) {
+  AdmissionController controller(params_3d(), DeliveryCostModel{}, true);
+  EXPECT_TRUE(controller.admit(table2_spec(0, 7)).is_ok());
+  EXPECT_EQ(controller.admit(table2_spec(1, 7)).code(),
+            StatusCode::kInvalid);
+}
+
+TEST(Admission, ReleaseRestoresBudget) {
+  AdmissionController controller(params_3d(), DeliveryCostModel{}, true);
+  ASSERT_TRUE(controller.admit(table2_spec(2, 1)).is_ok());
+  const double with_topic = controller.utilization();
+  ASSERT_TRUE(controller.release(1).is_ok());
+  EXPECT_NEAR(controller.utilization(), 0.0, 1e-12);
+  EXPECT_LT(controller.utilization(), with_topic);
+  EXPECT_EQ(controller.release(1).code(), StatusCode::kNotFound);
+}
+
+TEST(Admission, HeadroomCountsWholeUnits) {
+  AdmissionController controller(params_3d(), DeliveryCostModel{}, true);
+  // A "unit" of one replicated + two plain topics.
+  const std::vector<TopicSpec> unit{table2_spec(2, 100), table2_spec(3, 101),
+                                    table2_spec(4, 102)};
+  const std::size_t before = controller.headroom(unit);
+  EXPECT_GT(before, 0u);
+  ASSERT_TRUE(controller.admit(table2_spec(2, 0)).is_ok());
+  EXPECT_LE(controller.headroom(unit), before);
+  // A unit containing an inadmissible topic has zero headroom.
+  const std::vector<TopicSpec> bad_unit{
+      TopicSpec{200, milliseconds(50), milliseconds(50), 0, 0,
+                Destination::kEdge}};
+  EXPECT_EQ(controller.headroom(bad_unit), 0u);
+}
+
+}  // namespace
+}  // namespace frame

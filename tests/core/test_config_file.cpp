@@ -1,0 +1,141 @@
+// Deployment configuration parser tests.
+#include <gtest/gtest.h>
+
+#include "core/config_file.hpp"
+
+namespace frame {
+namespace {
+
+constexpr std::string_view kValid = R"(
+# a deployment
+[timing]
+delta_pb_ms       = 1
+delta_bs_edge_ms  = 1
+delta_bs_cloud_ms = 20
+delta_bb_ms       = 0.05
+failover_x_ms     = 50
+
+[topic]            ; two sensors
+period_ms      = 50
+deadline_ms    = 60
+loss_tolerance = 0
+retention      = 2
+destination    = edge
+count          = 2
+
+[topic]
+period_ms      = 500
+deadline_ms    = 800
+loss_tolerance = inf
+destination    = cloud
+)";
+
+TEST(ConfigFile, ParsesTimingAndTopics) {
+  auto result = parse_deployment_config(kValid);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const DeploymentConfig& config = result.value();
+  EXPECT_EQ(config.timing.delta_pb, milliseconds(1));
+  EXPECT_EQ(config.timing.delta_bs_cloud, milliseconds(20));
+  EXPECT_EQ(config.timing.delta_bb, microseconds(50));
+  EXPECT_EQ(config.timing.failover_x, milliseconds(50));
+
+  ASSERT_EQ(config.topics.size(), 3u);
+  EXPECT_EQ(config.topics[0].id, 0u);
+  EXPECT_EQ(config.topics[1].id, 1u);
+  EXPECT_EQ(config.topics[0].period, milliseconds(50));
+  EXPECT_EQ(config.topics[0].deadline, milliseconds(60));
+  EXPECT_EQ(config.topics[0].retention, 2u);
+  EXPECT_EQ(config.topics[1].loss_tolerance, 0u);
+  EXPECT_EQ(config.topics[2].id, 2u);
+  EXPECT_TRUE(config.topics[2].best_effort());
+  EXPECT_EQ(config.topics[2].destination, Destination::kCloud);
+}
+
+TEST(ConfigFile, RoundTripsThroughFormatter) {
+  auto first = parse_deployment_config(kValid);
+  ASSERT_TRUE(first.is_ok());
+  const std::string text = format_deployment_config(first.value());
+  auto second = parse_deployment_config(text);
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+  ASSERT_EQ(second.value().topics.size(), first.value().topics.size());
+  for (std::size_t i = 0; i < first.value().topics.size(); ++i) {
+    const auto& a = first.value().topics[i];
+    const auto& b = second.value().topics[i];
+    EXPECT_EQ(a.period, b.period);
+    EXPECT_EQ(a.deadline, b.deadline);
+    EXPECT_EQ(a.loss_tolerance, b.loss_tolerance);
+    EXPECT_EQ(a.retention, b.retention);
+    EXPECT_EQ(a.destination, b.destination);
+  }
+  EXPECT_EQ(first.value().timing.failover_x,
+            second.value().timing.failover_x);
+}
+
+TEST(ConfigFile, RejectsUnknownTimingKey) {
+  const auto result =
+      parse_deployment_config("[timing]\ndelta_qq_ms = 1\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ConfigFile, RejectsUnknownSection) {
+  EXPECT_FALSE(parse_deployment_config("[nonsense]\n").is_ok());
+}
+
+TEST(ConfigFile, RejectsKeyOutsideSection) {
+  EXPECT_FALSE(parse_deployment_config("period_ms = 50\n").is_ok());
+}
+
+TEST(ConfigFile, RejectsTopicWithoutPeriod) {
+  const auto result = parse_deployment_config(
+      "[topic]\ndeadline_ms = 50\nloss_tolerance = 0\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("period"), std::string::npos);
+}
+
+TEST(ConfigFile, RejectsTopicWithoutLossTolerance) {
+  EXPECT_FALSE(parse_deployment_config(
+                   "[topic]\nperiod_ms = 50\ndeadline_ms = 50\n")
+                   .is_ok());
+}
+
+TEST(ConfigFile, RejectsBadNumber) {
+  EXPECT_FALSE(parse_deployment_config(
+                   "[topic]\nperiod_ms = fifty\n").is_ok());
+}
+
+TEST(ConfigFile, RejectsBadDestination) {
+  EXPECT_FALSE(
+      parse_deployment_config("[topic]\ndestination = mars\n").is_ok());
+}
+
+TEST(ConfigFile, RejectsMissingEquals) {
+  EXPECT_FALSE(parse_deployment_config("[timing]\ndelta_pb_ms 1\n").is_ok());
+}
+
+TEST(ConfigFile, CountExpandsTopicsWithDenseIds) {
+  const auto result = parse_deployment_config(
+      "[topic]\nperiod_ms = 10\ndeadline_ms = 20\nloss_tolerance = 1\n"
+      "count = 5\n");
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result.value().topics.size(), 5u);
+  for (TopicId id = 0; id < 5; ++id) {
+    EXPECT_EQ(result.value().topics[id].id, id);
+  }
+}
+
+TEST(ConfigFile, CommentsAndBlankLinesIgnored) {
+  const auto result = parse_deployment_config(
+      "# header\n\n[timing]   ; inline\ndelta_pb_ms = 2   # trailing\n");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().timing.delta_pb, milliseconds(2));
+}
+
+TEST(ConfigFile, MissingFileReported) {
+  const auto result = load_deployment_config("/nonexistent/path.frame");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace frame

@@ -1,0 +1,89 @@
+// Section III-D differentiation helpers over whole topic sets.
+#include <gtest/gtest.h>
+
+#include "core/differentiation.hpp"
+
+namespace frame {
+namespace {
+
+TimingParams params_3d() {
+  TimingParams params;
+  params.delta_pb = 0;
+  params.delta_bs_edge = milliseconds(1);
+  params.delta_bs_cloud = milliseconds(20);
+  params.delta_bb = microseconds(50);
+  params.failover_x = milliseconds(50);
+  return params;
+}
+
+std::vector<TopicSpec> table2_set() {
+  std::vector<TopicSpec> specs;
+  for (int cat = 0; cat < kTable2Categories; ++cat) {
+    specs.push_back(table2_spec(cat, static_cast<TopicId>(cat)));
+  }
+  return specs;
+}
+
+TEST(Differentiation, OrderingIsSortedAndComplete) {
+  const auto entries = deadline_ordering(table2_set(), params_3d());
+  // 6 dispatch entries + 5 replication entries (category 4 is best-effort).
+  ASSERT_EQ(entries.size(), 11u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LE(entries[i - 1].pseudo_deadline, entries[i].pseudo_deadline);
+  }
+}
+
+TEST(Differentiation, OrderingMatchesPaperSequence) {
+  const auto entries = deadline_ordering(table2_set(), params_3d());
+  // Expected (Section III-D.2): Dd0=Dd1 < Dr0=Dr2 < Dd2=Dd3=Dd4 < Dr1 <
+  // Dr3 < Dr5 < Dd5.  Compare the (topic, kind) sequence, allowing the
+  // order within equal-deadline groups to be the stable input order.
+  const auto kind_at = [&](std::size_t i) { return entries[i].kind; };
+  const auto topic_at = [&](std::size_t i) { return entries[i].topic; };
+  EXPECT_EQ(topic_at(0), 0u);
+  EXPECT_EQ(kind_at(0), JobKind::kDispatch);
+  EXPECT_EQ(topic_at(1), 1u);
+  EXPECT_EQ(kind_at(1), JobKind::kDispatch);
+  EXPECT_EQ(topic_at(2), 0u);
+  EXPECT_EQ(kind_at(2), JobKind::kReplicate);
+  EXPECT_EQ(topic_at(3), 2u);
+  EXPECT_EQ(kind_at(3), JobKind::kReplicate);
+  // Positions 4-6: dispatch of categories 2, 3, 4.
+  for (std::size_t i = 4; i <= 6; ++i) {
+    EXPECT_EQ(kind_at(i), JobKind::kDispatch);
+  }
+  EXPECT_EQ(topic_at(7), 1u);
+  EXPECT_EQ(kind_at(7), JobKind::kReplicate);
+  EXPECT_EQ(topic_at(8), 3u);
+  EXPECT_EQ(kind_at(8), JobKind::kReplicate);
+  EXPECT_EQ(topic_at(9), 5u);
+  EXPECT_EQ(kind_at(9), JobKind::kReplicate);
+  EXPECT_EQ(topic_at(10), 5u);
+  EXPECT_EQ(kind_at(10), JobKind::kDispatch);
+}
+
+TEST(Differentiation, ReplicationSetIsCategories2And5) {
+  const auto set = replication_set(table2_set(), params_3d());
+  EXPECT_EQ(set, (std::vector<TopicId>{2, 5}));
+}
+
+TEST(Differentiation, ExtraRetentionClearsReplicationSet) {
+  const auto bumped = with_extra_retention(table2_set(), params_3d(), 1);
+  EXPECT_TRUE(replication_set(bumped, params_3d()).empty());
+  // Only the replicating categories changed.
+  EXPECT_EQ(bumped[0].retention, table2_spec(0, 0).retention);
+  EXPECT_EQ(bumped[2].retention, table2_spec(2, 0).retention + 1);
+  EXPECT_EQ(bumped[5].retention, table2_spec(5, 0).retention + 1);
+}
+
+TEST(Differentiation, AdmitAllFlagsOnlyBrokenTopics) {
+  auto specs = table2_set();
+  specs.push_back(TopicSpec{6, milliseconds(100), milliseconds(5), 0, 1,
+                            Destination::kCloud});  // Dd < 0
+  const auto failures = admit_all(specs, params_3d());
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].topic, 6u);
+}
+
+}  // namespace
+}  // namespace frame

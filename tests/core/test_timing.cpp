@@ -1,0 +1,258 @@
+// Tests for the paper's timing model (Lemmas 1-2, Proposition 1, admission)
+// including the exact worked example of Section III-D.
+#include <gtest/gtest.h>
+
+#include "core/timing.hpp"
+#include "core/topic.hpp"
+
+namespace frame {
+namespace {
+
+/// Section III-D parameters: ΔBS = 1 ms (edge) / 20 ms (cloud),
+/// ΔBB = 0.05 ms, x = 50 ms.  ΔPB = 0 so pseudo and lemma deadlines agree,
+/// as in the paper's worked ordering.
+TimingParams section3d_params() {
+  TimingParams params;
+  params.delta_pb = 0;
+  params.delta_bs_edge = milliseconds(1);
+  params.delta_bs_cloud = milliseconds(20);
+  params.delta_bb = microseconds(50);
+  params.failover_x = milliseconds(50);
+  return params;
+}
+
+TEST(Timing, Lemma1MatchesHandComputation) {
+  // Dr = (Ni + Li) Ti - dPB - dBB - x, all in nanoseconds.
+  TopicSpec spec{0, milliseconds(100), milliseconds(100), 2, 3,
+                 Destination::kEdge};
+  TimingParams params = section3d_params();
+  params.delta_pb = milliseconds(1);
+  // (3 + 2) * 100 - 1 - 0.05 - 50 = 448.95 ms
+  EXPECT_EQ(replication_deadline(spec, params), milliseconds_f(448.95));
+}
+
+TEST(Timing, Lemma2MatchesHandComputation) {
+  TopicSpec spec{0, milliseconds(100), milliseconds(80), 0, 1,
+                 Destination::kCloud};
+  TimingParams params = section3d_params();
+  params.delta_pb = milliseconds(2);
+  // Dd = Di - dPB - dBS = 80 - 2 - 20 = 58 ms.
+  EXPECT_EQ(dispatch_deadline(spec, params), milliseconds(58));
+}
+
+TEST(Timing, BestEffortTopicsHaveInfiniteReplicationDeadline) {
+  TopicSpec spec = table2_spec(4, 0);
+  const TimingParams params = section3d_params();
+  EXPECT_EQ(replication_pseudo_deadline(spec, params), kDurationInfinite);
+  EXPECT_FALSE(needs_replication(spec, params));
+}
+
+TEST(Timing, Table2PseudoDeadlines) {
+  const TimingParams params = section3d_params();
+  // Values from Section III-D.2 (ms).
+  const TopicSpec cat0 = table2_spec(0, 0);
+  const TopicSpec cat1 = table2_spec(1, 1);
+  const TopicSpec cat2 = table2_spec(2, 2);
+  const TopicSpec cat3 = table2_spec(3, 3);
+  const TopicSpec cat5 = table2_spec(5, 5);
+
+  EXPECT_EQ(dispatch_pseudo_deadline(cat0, params), milliseconds(49));
+  EXPECT_EQ(dispatch_pseudo_deadline(cat1, params), milliseconds(49));
+  EXPECT_EQ(dispatch_pseudo_deadline(cat2, params), milliseconds(99));
+  EXPECT_EQ(dispatch_pseudo_deadline(cat5, params), milliseconds(480));
+
+  EXPECT_EQ(replication_pseudo_deadline(cat0, params), milliseconds_f(49.95));
+  EXPECT_EQ(replication_pseudo_deadline(cat1, params), milliseconds_f(99.95));
+  EXPECT_EQ(replication_pseudo_deadline(cat2, params), milliseconds_f(49.95));
+  EXPECT_EQ(replication_pseudo_deadline(cat3, params),
+            milliseconds_f(249.95));
+  EXPECT_EQ(replication_pseudo_deadline(cat5, params),
+            milliseconds_f(449.95));
+}
+
+// The paper's ordering: Dd0 = Dd1 < Dr0 = Dr2 < Dd2 = Dd3 = Dd4 < Dr1 <
+// Dr3 < Dr5 < Dd5 (Section III-D.2).
+TEST(Timing, Section3DOrderingHolds) {
+  const TimingParams params = section3d_params();
+  const auto dd = [&](int cat) {
+    return dispatch_pseudo_deadline(table2_spec(cat, 0), params);
+  };
+  const auto dr = [&](int cat) {
+    return replication_pseudo_deadline(table2_spec(cat, 0), params);
+  };
+  EXPECT_EQ(dd(0), dd(1));
+  EXPECT_LT(dd(0), dr(0));
+  EXPECT_EQ(dr(0), dr(2));
+  EXPECT_LT(dr(0), dd(2));
+  EXPECT_EQ(dd(2), dd(3));
+  EXPECT_EQ(dd(3), dd(4));
+  EXPECT_LT(dd(2), dr(1));
+  EXPECT_LT(dr(1), dr(3));
+  EXPECT_LT(dr(3), dr(5));
+  EXPECT_LT(dr(5), dd(5));
+}
+
+// Proposition 1 applied to Table 2: replication needed only for
+// categories 2 and 5 (Section III-D.2).
+TEST(Timing, Proposition1SelectsCategories2And5) {
+  const TimingParams params = section3d_params();
+  EXPECT_FALSE(needs_replication(table2_spec(0, 0), params));
+  EXPECT_FALSE(needs_replication(table2_spec(1, 0), params));
+  EXPECT_TRUE(needs_replication(table2_spec(2, 0), params));
+  EXPECT_FALSE(needs_replication(table2_spec(3, 0), params));
+  EXPECT_FALSE(needs_replication(table2_spec(4, 0), params));
+  EXPECT_TRUE(needs_replication(table2_spec(5, 0), params));
+}
+
+// Section III-D.3: raising Ni by one for categories 2 and 5 removes the
+// need for replication entirely (the FRAME+ configuration).
+TEST(Timing, RetentionBumpRemovesAllReplication) {
+  const TimingParams params = section3d_params();
+  TopicSpec cat2 = table2_spec(2, 0);
+  TopicSpec cat5 = table2_spec(5, 0);
+  cat2.retention += 1;
+  cat5.retention += 1;
+  EXPECT_FALSE(needs_replication(cat2, params));
+  EXPECT_FALSE(needs_replication(cat5, params));
+}
+
+TEST(Timing, AdmissionRejectsNegativeDispatchDeadline) {
+  // Di smaller than DeltaPB + DeltaBS can never be met.
+  TopicSpec spec{0, milliseconds(100), milliseconds(10), 0, 5,
+                 Destination::kCloud};
+  TimingParams params = section3d_params();
+  params.delta_pb = milliseconds(1);  // Dd = 10 - 1 - 20 < 0
+  const Status status = admission_test(spec, params);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kRejected);
+}
+
+// Section III-D.1: Li = 0 requires publisher retention; otherwise the
+// message is lost if the Primary crashes right after its arrival.
+TEST(Timing, AdmissionRejectsZeroLossZeroRetention) {
+  TopicSpec spec{0, milliseconds(50), milliseconds(50), 0, 0,
+                 Destination::kEdge};
+  const Status status = admission_test(spec, section3d_params());
+  EXPECT_FALSE(status.is_ok());
+}
+
+TEST(Timing, AdmissionAcceptsEveryTable2Category) {
+  TimingParams params = section3d_params();
+  params.delta_pb = microseconds(500);
+  for (int cat = 0; cat < kTable2Categories; ++cat) {
+    const Status status = admission_test(table2_spec(cat, 0), params);
+    EXPECT_TRUE(status.is_ok()) << "category " << cat << ": "
+                                << status.to_string();
+  }
+}
+
+TEST(Timing, AdmissionRejectsNonPositivePeriod) {
+  TopicSpec spec{0, 0, milliseconds(50), 1, 0, Destination::kEdge};
+  EXPECT_EQ(admission_test(spec, section3d_params()).code(),
+            StatusCode::kInvalid);
+}
+
+// Table 2's Ni column is the minimum retention making Dr non-negative.
+TEST(Timing, MinRetentionReproducesTable2Column) {
+  const TimingParams params = section3d_params();
+  EXPECT_EQ(min_retention_for_admission(table2_spec(0, 0), params), 2u);
+  EXPECT_EQ(min_retention_for_admission(table2_spec(1, 0), params), 0u);
+  EXPECT_EQ(min_retention_for_admission(table2_spec(2, 0), params), 1u);
+  EXPECT_EQ(min_retention_for_admission(table2_spec(3, 0), params), 0u);
+  EXPECT_EQ(min_retention_for_admission(table2_spec(4, 0), params), 0u);
+  EXPECT_EQ(min_retention_for_admission(table2_spec(5, 0), params), 1u);
+}
+
+TEST(Timing, ObservedDeltaPbShiftsDeadline) {
+  EXPECT_EQ(apply_observed_delta_pb(milliseconds(100), milliseconds(3)),
+            milliseconds(97));
+  EXPECT_EQ(apply_observed_delta_pb(kDurationInfinite, milliseconds(3)),
+            kDurationInfinite);
+}
+
+// Section III-D.4, case Di < Ti (rare, time-critical messages): with
+// Ti = "infinity" and Li = 0, Proposition 1 suppresses replication as long
+// as a positive Ni is admissible.
+TEST(Timing, RareTimeCriticalTopicNeedsNoReplication) {
+  TopicSpec spec{0, seconds(3600), milliseconds(20), 0, 1,
+                 Destination::kEdge};
+  const TimingParams params = section3d_params();
+  EXPECT_TRUE(admission_test(spec, params).is_ok());
+  EXPECT_FALSE(needs_replication(spec, params));
+}
+
+// Section III-D.4, case Di > Ti (streaming): replication is likely needed
+// unless DeltaBS is small.
+TEST(Timing, StreamingTopicNeedsReplication) {
+  TopicSpec spec{0, milliseconds(10), milliseconds(200), 0, 1,
+                 Destination::kCloud};
+  const TimingParams params = section3d_params();
+  // Dr' = 10 - 0.05 - 50 < 0 < Dd' -> replication needed (and Ni must rise
+  // for admission).
+  EXPECT_TRUE(needs_replication(spec, params));
+  EXPECT_FALSE(admission_test(spec, params).is_ok());
+  TopicSpec fixed = spec;
+  fixed.retention = min_retention_for_admission(spec, params);
+  EXPECT_TRUE(admission_test(fixed, params).is_ok());
+}
+
+// Property sweep: the replication deadline is monotone in Ni, Li, Ti and
+// antitone in x, as Equation (1) dictates.
+class TimingMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimingMonotonicity, ReplicationDeadlineMonotoneInRetention) {
+  const int step = GetParam();
+  const TimingParams params = section3d_params();
+  TopicSpec lo{0, milliseconds(40), milliseconds(40),
+               static_cast<std::uint32_t>(step), 1, Destination::kEdge};
+  TopicSpec hi = lo;
+  hi.retention += 1;
+  EXPECT_LT(replication_pseudo_deadline(lo, params),
+            replication_pseudo_deadline(hi, params));
+}
+
+TEST_P(TimingMonotonicity, ReplicationDeadlineAntitoneInFailover) {
+  const int step = GetParam();
+  TopicSpec spec{0, milliseconds(40), milliseconds(40), 2, 1,
+                 Destination::kEdge};
+  TimingParams fast = section3d_params();
+  fast.failover_x = milliseconds(step);
+  TimingParams slow = fast;
+  slow.failover_x += milliseconds(5);
+  EXPECT_GT(replication_pseudo_deadline(spec, fast),
+            replication_pseudo_deadline(spec, slow));
+}
+
+TEST_P(TimingMonotonicity, MinRetentionDecreasesWithLossTolerance) {
+  const int step = GetParam();
+  const TimingParams params = section3d_params();
+  TopicSpec strict{0, milliseconds(10), milliseconds(10), 0, 0,
+                   Destination::kEdge};
+  TopicSpec lax = strict;
+  lax.loss_tolerance = static_cast<std::uint32_t>(step + 1);
+  EXPECT_GE(min_retention_for_admission(strict, params),
+            min_retention_for_admission(lax, params));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TimingMonotonicity,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 13, 21));
+
+// The paper's equivalent formulation of Proposition 1:
+// replication needed iff x + dBB - dBS > (Ni + Li) Ti - Di.
+TEST(Timing, Proposition1EquivalentFormulation) {
+  const TimingParams params = section3d_params();
+  for (int cat = 0; cat < kTable2Categories; ++cat) {
+    const TopicSpec spec = table2_spec(cat, 0);
+    if (spec.best_effort()) continue;
+    const Duration lhs = params.failover_x + params.delta_bb -
+                         params.delta_bs(spec.destination);
+    const Duration window =
+        static_cast<Duration>(spec.retention + spec.loss_tolerance) *
+        spec.period;
+    const bool expected = lhs > window - spec.deadline;
+    EXPECT_EQ(needs_replication(spec, params), expected) << "category " << cat;
+  }
+}
+
+}  // namespace
+}  // namespace frame

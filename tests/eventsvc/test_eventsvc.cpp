@@ -1,0 +1,231 @@
+// Event service substrate tests: filtering, correlation, dispatching, and
+// the event channel in both Fig. 5 modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "eventsvc/correlation.hpp"
+#include "eventsvc/dispatching.hpp"
+#include "eventsvc/event_channel.hpp"
+#include "eventsvc/filtering.hpp"
+
+namespace frame::eventsvc {
+namespace {
+
+Event make_event(SupplierId source, EventType type) {
+  Event event;
+  event.header.source = source;
+  event.header.type = type;
+  return event;
+}
+
+// ---------------------------------------------------------------- Filtering
+
+TEST(Filtering, ExactMatch) {
+  Filter filter({SubscriptionPattern{1, 10}});
+  EXPECT_TRUE(filter.matches(EventHeader{1, 10, 0}));
+  EXPECT_FALSE(filter.matches(EventHeader{1, 11, 0}));
+  EXPECT_FALSE(filter.matches(EventHeader{2, 10, 0}));
+}
+
+TEST(Filtering, Wildcards) {
+  Filter any_source({SubscriptionPattern{kAnySupplier, 10}});
+  EXPECT_TRUE(any_source.matches(EventHeader{999, 10, 0}));
+  EXPECT_FALSE(any_source.matches(EventHeader{999, 11, 0}));
+
+  Filter any_type({SubscriptionPattern{1, kAnyType}});
+  EXPECT_TRUE(any_type.matches(EventHeader{1, 77, 0}));
+  EXPECT_FALSE(any_type.matches(EventHeader{2, 77, 0}));
+
+  Filter everything({SubscriptionPattern{}});
+  EXPECT_TRUE(everything.matches(EventHeader{3, 4, 0}));
+}
+
+TEST(Filtering, EmptyFilterMatchesNothing) {
+  Filter filter;
+  EXPECT_FALSE(filter.matches(EventHeader{1, 1, 0}));
+}
+
+TEST(Filtering, AnyPatternSuffices) {
+  Filter filter({SubscriptionPattern{1, 10}, SubscriptionPattern{2, 20}});
+  EXPECT_TRUE(filter.matches(EventHeader{2, 20, 0}));
+  EXPECT_FALSE(filter.matches(EventHeader{1, 20, 0}));
+}
+
+// -------------------------------------------------------------- Correlation
+
+TEST(Correlation, DisjunctionDeliversOnAnyMatch) {
+  Correlator correlator(CorrelationSpec{
+      CorrelationKind::kDisjunction,
+      {SubscriptionPattern{1, kAnyType}, SubscriptionPattern{2, kAnyType}}});
+  EXPECT_EQ(correlator.offer(make_event(1, 5)).size(), 1u);
+  EXPECT_EQ(correlator.offer(make_event(3, 5)).size(), 0u);
+}
+
+TEST(Correlation, ConjunctionWaitsForAllPatterns) {
+  Correlator correlator(CorrelationSpec{
+      CorrelationKind::kConjunction,
+      {SubscriptionPattern{1, kAnyType}, SubscriptionPattern{2, kAnyType}}});
+  EXPECT_TRUE(correlator.offer(make_event(1, 5)).empty());
+  EXPECT_TRUE(correlator.offer(make_event(1, 6)).empty());  // refresh slot 1
+  const auto group = correlator.offer(make_event(2, 7));
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(group[0].header.type, 6u);  // latest event per slot
+  EXPECT_EQ(group[1].header.source, 2u);
+}
+
+TEST(Correlation, ConjunctionResetsAfterFiring) {
+  Correlator correlator(CorrelationSpec{
+      CorrelationKind::kConjunction,
+      {SubscriptionPattern{1, kAnyType}, SubscriptionPattern{2, kAnyType}}});
+  correlator.offer(make_event(1, 0));
+  EXPECT_EQ(correlator.offer(make_event(2, 0)).size(), 2u);
+  // Needs both patterns again.
+  EXPECT_TRUE(correlator.offer(make_event(2, 1)).empty());
+  EXPECT_EQ(correlator.offer(make_event(1, 1)).size(), 2u);
+}
+
+TEST(Correlation, NonMatchingEventIgnored) {
+  Correlator correlator(CorrelationSpec{CorrelationKind::kConjunction,
+                                        {SubscriptionPattern{1, 1}}});
+  EXPECT_TRUE(correlator.offer(make_event(9, 9)).empty());
+}
+
+// -------------------------------------------------------------- Dispatching
+
+TEST(Dispatching, SynchronousRunsInline) {
+  SynchronousDispatcher dispatcher;
+  int runs = 0;
+  dispatcher.dispatch(0, [&] { ++runs; });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Dispatching, ThreadPoolRunsAllWork) {
+  ThreadPoolDispatcher dispatcher(4, 2);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 200; ++i) {
+    dispatcher.dispatch(static_cast<std::size_t>(i % 2), [&] { ++runs; });
+  }
+  dispatcher.drain();
+  EXPECT_EQ(runs.load(), 200);
+}
+
+TEST(Dispatching, HigherPriorityLaneServedFirst) {
+  // One worker; block it, enqueue low then high, verify high runs first.
+  ThreadPoolDispatcher dispatcher(1, 2);
+  std::atomic<bool> release{false};
+  std::vector<int> order;
+  std::mutex order_mutex;
+  dispatcher.dispatch(0, [&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  dispatcher.dispatch(1, [&] {
+    std::lock_guard lock(order_mutex);
+    order.push_back(1);
+  });
+  dispatcher.dispatch(0, [&] {
+    std::lock_guard lock(order_mutex);
+    order.push_back(0);
+  });
+  release.store(true);
+  dispatcher.drain();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);  // lane 0 (highest) first
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(Dispatching, ShutdownIsIdempotent) {
+  ThreadPoolDispatcher dispatcher(2, 1);
+  dispatcher.shutdown();
+  dispatcher.shutdown();
+  dispatcher.dispatch(0, [] { FAIL() << "work after shutdown"; });
+  SUCCEED();
+}
+
+// ------------------------------------------------------------ EventChannel
+
+TEST(EventChannel, ClassicPathFiltersAndDelivers) {
+  EventChannel channel(std::make_unique<SynchronousDispatcher>());
+  std::vector<EventType> received;
+  channel.subscribe(7, Filter({SubscriptionPattern{1, kAnyType}}));
+  channel.obtain_push_supplier(7).connect(
+      [&](const Event& event) { received.push_back(event.header.type); });
+
+  auto& supplier1 = channel.obtain_push_consumer(1);
+  auto& supplier2 = channel.obtain_push_consumer(2);
+  supplier1.push(make_event(1, 100));
+  supplier2.push(make_event(2, 200));  // filtered out
+  supplier1.push(make_event(1, 101));
+
+  EXPECT_EQ(received, (std::vector<EventType>{100, 101}));
+  EXPECT_EQ(channel.stats().pushed, 3u);
+  EXPECT_EQ(channel.stats().delivered, 2u);
+  EXPECT_EQ(channel.stats().filtered_out, 1u);
+}
+
+TEST(EventChannel, MultipleConsumersEachFiltered) {
+  EventChannel channel(std::make_unique<SynchronousDispatcher>());
+  int a_count = 0;
+  int b_count = 0;
+  channel.subscribe(1, Filter({SubscriptionPattern{kAnySupplier, 1}}));
+  channel.obtain_push_supplier(1).connect([&](const Event&) { ++a_count; });
+  channel.subscribe(2, Filter({SubscriptionPattern{kAnySupplier, kAnyType}}));
+  channel.obtain_push_supplier(2).connect([&](const Event&) { ++b_count; });
+
+  channel.obtain_push_consumer(5).push(make_event(5, 1));
+  channel.obtain_push_consumer(5).push(make_event(5, 2));
+  EXPECT_EQ(a_count, 1);
+  EXPECT_EQ(b_count, 2);
+}
+
+TEST(EventChannel, CorrelationPathDeliversGroups) {
+  EventChannel channel(std::make_unique<SynchronousDispatcher>());
+  int groups = 0;
+  channel.set_correlation(
+      3, CorrelationSpec{CorrelationKind::kConjunction,
+                         {SubscriptionPattern{1, kAnyType},
+                          SubscriptionPattern{2, kAnyType}}});
+  channel.obtain_push_supplier(3).connect([&](const Event&) { ++groups; });
+  channel.obtain_push_consumer(1).push(make_event(1, 0));
+  EXPECT_EQ(groups, 0);
+  channel.obtain_push_consumer(2).push(make_event(2, 0));
+  EXPECT_EQ(groups, 2);  // the conjunction group: one push per member event
+}
+
+TEST(EventChannel, IntakeHookBypassesClassicPath) {
+  // Fig. 5b: with the hook installed, pushes reach FRAME's Message Proxy
+  // and no classic delivery happens.
+  EventChannel channel(std::make_unique<SynchronousDispatcher>());
+  int hooked = 0;
+  int classic = 0;
+  channel.subscribe(1, Filter({SubscriptionPattern{}}));
+  channel.obtain_push_supplier(1).connect([&](const Event&) { ++classic; });
+  channel.set_intake_hook([&](const Event&) { ++hooked; });
+
+  channel.obtain_push_consumer(9).push(make_event(9, 1));
+  EXPECT_EQ(hooked, 1);
+  EXPECT_EQ(classic, 0);
+}
+
+TEST(EventChannel, DeliverToPushesThroughConsumerProxy) {
+  EventChannel channel(std::make_unique<SynchronousDispatcher>());
+  std::vector<EventType> received;
+  channel.obtain_push_supplier(4).connect(
+      [&](const Event& event) { received.push_back(event.header.type); });
+  channel.deliver_to(4, make_event(0, 55));
+  channel.deliver_to(99, make_event(0, 56));  // unknown consumer: ignored
+  EXPECT_EQ(received, (std::vector<EventType>{55}));
+}
+
+TEST(EventChannel, DisconnectedProxyDropsSilently) {
+  EventChannel channel(std::make_unique<SynchronousDispatcher>());
+  auto& proxy = channel.obtain_push_supplier(4);
+  proxy.connect([](const Event&) { FAIL(); });
+  proxy.disconnect();
+  channel.deliver_to(4, make_event(0, 1));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace frame::eventsvc

@@ -1,0 +1,135 @@
+// Integration tests that pin the paper's qualitative claims on the
+// simulated testbed at the smallest paper workload (1525 topics) plus a
+// scaled overload check of the FCFS collapse.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace frame::sim {
+namespace {
+
+ExperimentConfig paper_config(ConfigName name, std::size_t topics,
+                              bool crash) {
+  ExperimentConfig config;
+  config.config = name;
+  config.total_topics = topics;
+  config.warmup = seconds(1);
+  config.measure = seconds(4);
+  config.drain = seconds(2);
+  config.inject_crash = crash;
+  config.seed = 2026;
+  config.watch_categories = {0, 2, 5};
+  return config;
+}
+
+// "All four configurations had 100% success rate for 1525 topics"
+// (Section VI-B, Table 4 note), with fault injection.
+TEST(PaperClaims, AllConfigsPerfectAt1525WithCrash) {
+  for (const ConfigName name :
+       {ConfigName::kFrame, ConfigName::kFramePlus, ConfigName::kFcfs,
+        ConfigName::kFcfsMinus}) {
+    const auto result = run_experiment(paper_config(name, 1525, true));
+    for (const auto& cat : result.categories) {
+      EXPECT_DOUBLE_EQ(cat.loss_success_pct, 100.0)
+          << to_string(name) << " cat " << cat.category;
+    }
+  }
+}
+
+// Table 4 at 7525: FRAME/FRAME+/FCFS- meet every loss requirement; FCFS
+// fails the zero-loss and bounded-loss rows (only best-effort survives).
+TEST(PaperClaims, Table4ShapeAt7525) {
+  const auto frame = run_experiment(paper_config(ConfigName::kFrame, 7525,
+                                                 true));
+  for (const auto& cat : frame.categories) {
+    EXPECT_DOUBLE_EQ(cat.loss_success_pct, 100.0)
+        << "FRAME cat " << cat.category;
+  }
+
+  const auto fcfs = run_experiment(paper_config(ConfigName::kFcfs, 7525,
+                                                true));
+  // Overloaded: the loss-constrained categories blow their budgets.
+  EXPECT_LT(fcfs.category(0).loss_success_pct, 50.0);
+  EXPECT_LT(fcfs.category(2).loss_success_pct, 50.0);
+  // Best-effort (Li = inf) is always "met".
+  EXPECT_DOUBLE_EQ(fcfs.category(4).loss_success_pct, 100.0);
+}
+
+// Section VI-B: FRAME saves a large share of Message Delivery CPU at 7525
+// versus FCFS, thanks to Proposition-1 replication removal; FRAME+ saves
+// even more.
+TEST(PaperClaims, Fig7CpuOrderingAt7525) {
+  const auto frame =
+      run_experiment(paper_config(ConfigName::kFrame, 7525, false));
+  const auto frame_plus =
+      run_experiment(paper_config(ConfigName::kFramePlus, 7525, false));
+  const auto fcfs =
+      run_experiment(paper_config(ConfigName::kFcfs, 7525, false));
+  EXPECT_LT(frame.cpu.primary_delivery, 0.70 * fcfs.cpu.primary_delivery);
+  EXPECT_LT(frame_plus.cpu.primary_delivery, frame.cpu.primary_delivery);
+  // Backup proxy load also drops when replication is removed (Fig. 7c).
+  EXPECT_LT(frame.cpu.backup_proxy, fcfs.cpu.backup_proxy);
+  EXPECT_LT(frame_plus.cpu.backup_proxy, 0.01);
+}
+
+// Section VI-C / Fig. 9: with coordination the Backup Buffer is (nearly)
+// empty at promotion; without it the buffer is full and recovery floods the
+// system with outdated copies, inflating the post-crash peak latency.
+TEST(PaperClaims, Fig9RecoveryPenaltyShape) {
+  const auto frame = run_experiment(paper_config(ConfigName::kFrame, 1525,
+                                                 true));
+  const auto fcfs_minus =
+      run_experiment(paper_config(ConfigName::kFcfsMinus, 1525, true));
+
+  EXPECT_LT(frame.backup_live_at_promotion, 50u);
+  EXPECT_GT(fcfs_minus.backup_live_at_promotion, 5000u);
+
+  const auto peak_after_crash = [](const ExperimentResult& result,
+                                   int category) {
+    Duration peak = 0;
+    for (const auto& trace : result.traces) {
+      if (trace.category != category) continue;
+      for (const auto& sample : trace.samples) {
+        if (sample.created_at >= result.crash_time) {
+          peak = std::max(peak, sample.latency);
+        }
+      }
+    }
+    return peak;
+  };
+  // The uncoordinated configuration pays a visibly larger recovery peak on
+  // the category-2 topic (its copies sit behind the full Backup Buffer).
+  EXPECT_GT(peak_after_crash(fcfs_minus, 2), peak_after_crash(frame, 2));
+}
+
+// Lesson 4 (Section VI-E): a small retention increase removes replication
+// and its CPU cost entirely while keeping zero loss.
+TEST(PaperClaims, RetentionBumpTradesMemoryForCpu) {
+  const auto frame =
+      run_experiment(paper_config(ConfigName::kFrame, 4525, true));
+  const auto frame_plus =
+      run_experiment(paper_config(ConfigName::kFramePlus, 4525, true));
+  EXPECT_EQ(frame_plus.primary_stats.replications_executed, 0u);
+  EXPECT_GT(frame.primary_stats.replications_executed, 0u);
+  EXPECT_LT(frame_plus.cpu.primary_delivery, frame.cpu.primary_delivery);
+  for (const auto& cat : frame_plus.categories) {
+    EXPECT_DOUBLE_EQ(cat.loss_success_pct, 100.0);
+  }
+}
+
+// Latency success during fault-free operation (Table 5 shape at 4525: all
+// configurations fine when nothing is overloaded).
+TEST(PaperClaims, Table5AllHealthyAt4525) {
+  for (const ConfigName name :
+       {ConfigName::kFrame, ConfigName::kFramePlus, ConfigName::kFcfs,
+        ConfigName::kFcfsMinus}) {
+    const auto result = run_experiment(paper_config(name, 4525, false));
+    for (const auto& cat : result.categories) {
+      EXPECT_GT(cat.latency_success_pct, 99.0)
+          << to_string(name) << " cat " << cat.category;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace frame::sim

@@ -1,0 +1,185 @@
+// Wire codec and frame protocol tests, including malformed-input safety.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/codec.hpp"
+#include "net/wire.hpp"
+
+namespace frame {
+namespace {
+
+TEST(Codec, PrimitiveRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  Writer writer(buf);
+  writer.u8(0xab);
+  writer.u16(0x1234);
+  writer.u32(0xdeadbeef);
+  writer.u64(0x0123456789abcdefull);
+  writer.i64(-42);
+
+  Reader reader(buf);
+  EXPECT_EQ(reader.u8(), 0xab);
+  EXPECT_EQ(reader.u16(), 0x1234);
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.i64(), -42);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Codec, LittleEndianLayout) {
+  std::vector<std::uint8_t> buf;
+  Writer writer(buf);
+  writer.u32(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(Codec, UnderflowSetsStickyError) {
+  const std::vector<std::uint8_t> buf{1, 2};
+  Reader reader(buf);
+  EXPECT_EQ(reader.u32(), 0u);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.u8(), 0u);  // still failed
+}
+
+TEST(Codec, Blob16RoundTrip) {
+  std::vector<std::uint8_t> buf;
+  Writer writer(buf);
+  const char payload[] = "hello frame";
+  writer.blob16(payload, sizeof(payload));
+  Reader reader(buf);
+  const auto blob = reader.blob16();
+  ASSERT_EQ(blob.size(), sizeof(payload));
+  EXPECT_EQ(std::memcmp(blob.data(), payload, sizeof(payload)), 0);
+}
+
+TEST(Codec, TruncatedBlobFails) {
+  std::vector<std::uint8_t> buf;
+  Writer writer(buf);
+  writer.u16(100);  // claims 100 bytes, provides none
+  Reader reader(buf);
+  EXPECT_TRUE(reader.blob16().empty());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Wire, MessageFrameRoundTrip) {
+  Message msg = make_test_message(42, 7, milliseconds(123));
+  msg.broker_arrival = milliseconds(124);
+  msg.dispatched_at = milliseconds(125);
+  msg.recovered = true;
+  const auto frame = encode_message_frame(WireType::kPublish, msg);
+  EXPECT_EQ(peek_type(frame), WireType::kPublish);
+  const auto decoded = decode_message_frame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->topic, 42u);
+  EXPECT_EQ(decoded->seq, 7u);
+  EXPECT_EQ(decoded->created_at, milliseconds(123));
+  EXPECT_EQ(decoded->broker_arrival, milliseconds(124));
+  EXPECT_EQ(decoded->dispatched_at, milliseconds(125));
+  EXPECT_TRUE(decoded->recovered);
+  EXPECT_EQ(decoded->payload_size, 16);
+  EXPECT_EQ(std::memcmp(decoded->payload.data(), msg.payload.data(), 16), 0);
+}
+
+TEST(Wire, AllMessageCarryingTypesDecode) {
+  const Message msg = make_test_message(1, 1, 0);
+  for (const WireType type : {WireType::kPublish, WireType::kDeliver,
+                              WireType::kReplicate, WireType::kResend}) {
+    const auto frame = encode_message_frame(type, msg);
+    EXPECT_TRUE(decode_message_frame(frame).has_value());
+  }
+}
+
+TEST(Wire, MessageDecoderRejectsControlFrames) {
+  const auto frame = encode_control_frame(WireType::kPoll);
+  EXPECT_FALSE(decode_message_frame(frame).has_value());
+}
+
+TEST(Wire, PruneFrameRoundTrip) {
+  const auto frame = encode_prune_frame(PruneFrame{9, 1234});
+  const auto decoded = decode_prune_frame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->topic, 9u);
+  EXPECT_EQ(decoded->seq, 1234u);
+  EXPECT_FALSE(decode_prune_frame(encode_control_frame(WireType::kPoll))
+                   .has_value());
+}
+
+TEST(Wire, SubscribeAndHelloRoundTrip) {
+  const auto sub = decode_subscribe_frame(
+      encode_subscribe_frame(SubscribeFrame{11, 22}));
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_EQ(sub->subscriber, 11u);
+  EXPECT_EQ(sub->topic, 22u);
+
+  const auto hello = decode_hello_frame(encode_hello_frame(HelloFrame{5, 2}));
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->node, 5u);
+  EXPECT_EQ(hello->role, 2);
+}
+
+TEST(Wire, EmptyBufferPeeksNothing) {
+  EXPECT_FALSE(peek_type({}).has_value());
+}
+
+TEST(Wire, TruncatedMessageFrameRejected) {
+  const Message msg = make_test_message(1, 1, 0);
+  auto frame = encode_message_frame(WireType::kPublish, msg);
+  frame.resize(frame.size() / 2);
+  EXPECT_FALSE(decode_message_frame(frame).has_value());
+}
+
+TEST(Wire, OversizedPayloadLengthRejected) {
+  const Message msg = make_test_message(1, 1, 0);
+  auto frame = encode_message_frame(WireType::kPublish, msg);
+  // Corrupt the payload length (the two bytes before the payload).
+  frame[frame.size() - msg.payload_size - 2] = 0xff;
+  frame[frame.size() - msg.payload_size - 1] = 0xff;
+  EXPECT_FALSE(decode_message_frame(frame).has_value());
+}
+
+// Property: arbitrary payload sizes round-trip; random garbage never
+// crashes the decoders.
+class WireProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireProperty, RandomMessagesRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Message msg = make_test_message(
+        static_cast<TopicId>(rng.next_below(100000)),
+        rng.next_u64() % (1ull << 40),
+        static_cast<TimePoint>(rng.next_below(1u << 30)),
+        rng.next_below(kMaxPayload + 1));
+    msg.recovered = rng.next_double() < 0.5;
+    const auto frame = encode_message_frame(WireType::kDeliver, msg);
+    const auto decoded = decode_message_frame(frame);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->topic, msg.topic);
+    EXPECT_EQ(decoded->seq, msg.seq);
+    EXPECT_EQ(decoded->payload_size, msg.payload_size);
+    EXPECT_EQ(decoded->recovered, msg.recovered);
+  }
+}
+
+TEST_P(WireProperty, RandomGarbageNeverCrashesDecoders) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> garbage(rng.next_below(64));
+    for (auto& byte : garbage) {
+      byte = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    decode_message_frame(garbage);
+    decode_prune_frame(garbage);
+    decode_subscribe_frame(garbage);
+    decode_hello_frame(garbage);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireProperty,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace frame

@@ -1,0 +1,138 @@
+// TcpBus: the Bus abstraction over real loopback sockets.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "net/tcp_bus.hpp"
+#include "net/wire.hpp"
+
+namespace frame {
+namespace {
+
+struct Inbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::pair<NodeId, std::vector<std::uint8_t>>> frames;
+
+  void add(NodeId from, std::vector<std::uint8_t> frame) {
+    std::lock_guard lock(mutex);
+    frames.emplace_back(from, std::move(frame));
+    cv.notify_all();
+  }
+  bool wait_for(std::size_t count, Duration timeout) {
+    std::unique_lock lock(mutex);
+    return cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+                       [&] { return frames.size() >= count; });
+  }
+  std::size_t count() {
+    std::lock_guard lock(mutex);
+    return frames.size();
+  }
+};
+
+TEST(TcpBus, DeliversFramesWithSenderIdentity) {
+  TcpBus bus;
+  Inbox inbox;
+  bus.register_endpoint(1, [](NodeId, std::vector<std::uint8_t>) {});
+  bus.register_endpoint(2, [&](NodeId from, std::vector<std::uint8_t> f) {
+    inbox.add(from, std::move(f));
+  });
+  ASSERT_NE(bus.port_of(2), 0);
+
+  bus.send(1, 2, {0xAA, 0xBB});
+  ASSERT_TRUE(inbox.wait_for(1, seconds(5)));
+  EXPECT_EQ(inbox.frames[0].first, 1u);
+  EXPECT_EQ(inbox.frames[0].second,
+            (std::vector<std::uint8_t>{0xAA, 0xBB}));
+}
+
+TEST(TcpBus, ManyFramesInOrderPerLink) {
+  TcpBus bus;
+  Inbox inbox;
+  bus.register_endpoint(1, [](NodeId, std::vector<std::uint8_t>) {});
+  bus.register_endpoint(2, [&](NodeId from, std::vector<std::uint8_t> f) {
+    inbox.add(from, std::move(f));
+  });
+  constexpr int kFrames = 300;
+  for (int i = 0; i < kFrames; ++i) {
+    bus.send(1, 2,
+             {static_cast<std::uint8_t>(i & 0xff),
+              static_cast<std::uint8_t>(i >> 8)});
+  }
+  ASSERT_TRUE(inbox.wait_for(kFrames, seconds(10)));
+  for (int i = 0; i < kFrames; ++i) {
+    const auto& frame = inbox.frames[i].second;
+    EXPECT_EQ(frame[0] | (frame[1] << 8), i);
+  }
+}
+
+TEST(TcpBus, WireFramesSurviveTheBus) {
+  TcpBus bus;
+  Inbox inbox;
+  bus.register_endpoint(7, [](NodeId, std::vector<std::uint8_t>) {});
+  bus.register_endpoint(8, [&](NodeId from, std::vector<std::uint8_t> f) {
+    inbox.add(from, std::move(f));
+  });
+  Message msg = make_test_message(3, 99, milliseconds(5));
+  bus.send(7, 8, encode_message_frame(WireType::kPublish, msg));
+  ASSERT_TRUE(inbox.wait_for(1, seconds(5)));
+  const auto decoded = decode_message_frame(inbox.frames[0].second);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->topic, 3u);
+  EXPECT_EQ(decoded->seq, 99u);
+}
+
+TEST(TcpBus, CrashedNodeStopsSendingAndReceiving) {
+  TcpBus bus;
+  Inbox inbox;
+  bus.register_endpoint(1, [](NodeId, std::vector<std::uint8_t>) {});
+  bus.register_endpoint(2, [&](NodeId from, std::vector<std::uint8_t> f) {
+    inbox.add(from, std::move(f));
+  });
+  bus.send(1, 2, {1});
+  ASSERT_TRUE(inbox.wait_for(1, seconds(5)));
+
+  bus.crash(2);
+  EXPECT_TRUE(bus.crashed(2));
+  EXPECT_EQ(bus.port_of(2), 0);
+  bus.send(1, 2, {2});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(inbox.count(), 1u);
+
+  bus.crash(1);
+  bus.restore(2);
+  bus.send(1, 2, {3});  // crashed sender: dropped
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(inbox.count(), 1u);
+}
+
+TEST(TcpBus, RestoreRebindsAndReceivesAgain) {
+  TcpBus bus;
+  Inbox inbox;
+  bus.register_endpoint(1, [](NodeId, std::vector<std::uint8_t>) {});
+  bus.register_endpoint(2, [&](NodeId from, std::vector<std::uint8_t> f) {
+    inbox.add(from, std::move(f));
+  });
+  bus.send(1, 2, {1});
+  ASSERT_TRUE(inbox.wait_for(1, seconds(5)));
+
+  bus.crash(2);
+  bus.restore(2);
+  EXPECT_FALSE(bus.crashed(2));
+  EXPECT_NE(bus.port_of(2), 0);
+  bus.send(1, 2, {2});
+  ASSERT_TRUE(inbox.wait_for(2, seconds(5)));
+  EXPECT_EQ(inbox.frames[1].second, (std::vector<std::uint8_t>{2}));
+}
+
+TEST(TcpBus, UnknownDestinationDropped) {
+  TcpBus bus;
+  bus.register_endpoint(1, [](NodeId, std::vector<std::uint8_t>) {});
+  bus.send(1, 99, {1});  // must not crash
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace frame

@@ -1,0 +1,235 @@
+// In-process bus (latency injection, crash semantics) and TCP transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "net/inproc_bus.hpp"
+#include "net/tcp.hpp"
+#include "net/wire.hpp"
+
+namespace frame {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> list) {
+  return std::vector<std::uint8_t>(list);
+}
+
+struct Collector {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::vector<std::uint8_t>> frames;
+
+  void add(std::vector<std::uint8_t> frame) {
+    std::lock_guard lock(mutex);
+    frames.push_back(std::move(frame));
+    cv.notify_all();
+  }
+
+  bool wait_for_count(std::size_t count, Duration timeout) {
+    std::unique_lock lock(mutex);
+    return cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+                       [&] { return frames.size() >= count; });
+  }
+
+  std::size_t count() {
+    std::lock_guard lock(mutex);
+    return frames.size();
+  }
+};
+
+TEST(InprocBus, DeliversFrames) {
+  InprocBus bus;
+  bus.set_default_latency(microseconds(100));
+  Collector collector;
+  bus.register_endpoint(2, [&](NodeId from, std::vector<std::uint8_t> frame) {
+    EXPECT_EQ(from, 1u);
+    collector.add(std::move(frame));
+  });
+  bus.send(1, 2, bytes({1, 2, 3}));
+  ASSERT_TRUE(collector.wait_for_count(1, seconds(2)));
+  EXPECT_EQ(collector.frames[0], bytes({1, 2, 3}));
+}
+
+TEST(InprocBus, PreservesOrderOnOneLink) {
+  InprocBus bus;
+  bus.set_default_latency(microseconds(50));
+  Collector collector;
+  bus.register_endpoint(2, [&](NodeId, std::vector<std::uint8_t> frame) {
+    collector.add(std::move(frame));
+  });
+  for (std::uint8_t i = 0; i < 50; ++i) bus.send(1, 2, bytes({i}));
+  ASSERT_TRUE(collector.wait_for_count(50, seconds(2)));
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(collector.frames[i][0], i);
+  }
+}
+
+TEST(InprocBus, LinkLatencyDelaysDelivery) {
+  InprocBus bus;
+  bus.set_link_latency(1, 2, milliseconds(40));
+  Collector collector;
+  bus.register_endpoint(2, [&](NodeId, std::vector<std::uint8_t> frame) {
+    collector.add(std::move(frame));
+  });
+  MonotonicClock clock;
+  const TimePoint start = clock.now();
+  bus.send(1, 2, bytes({9}));
+  ASSERT_TRUE(collector.wait_for_count(1, seconds(2)));
+  EXPECT_GE(clock.now() - start, milliseconds(35));
+}
+
+TEST(InprocBus, CrashedDestinationDropsFrames) {
+  InprocBus bus;
+  bus.set_default_latency(microseconds(10));
+  Collector collector;
+  bus.register_endpoint(2, [&](NodeId, std::vector<std::uint8_t> frame) {
+    collector.add(std::move(frame));
+  });
+  bus.crash(2);
+  EXPECT_TRUE(bus.crashed(2));
+  bus.send(1, 2, bytes({1}));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(collector.count(), 0u);
+}
+
+TEST(InprocBus, CrashedSourceCannotSend) {
+  InprocBus bus;
+  bus.set_default_latency(microseconds(10));
+  Collector collector;
+  bus.register_endpoint(2, [&](NodeId, std::vector<std::uint8_t> frame) {
+    collector.add(std::move(frame));
+  });
+  bus.crash(1);
+  bus.send(1, 2, bytes({1}));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(collector.count(), 0u);
+}
+
+TEST(InprocBus, InFlightFramesToCrashedNodeDropped) {
+  InprocBus bus;
+  bus.set_link_latency(1, 2, milliseconds(50));
+  Collector collector;
+  bus.register_endpoint(2, [&](NodeId, std::vector<std::uint8_t> frame) {
+    collector.add(std::move(frame));
+  });
+  bus.send(1, 2, bytes({1}));  // in flight for 50 ms
+  bus.crash(2);                // crash before delivery
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(collector.count(), 0u);
+}
+
+TEST(InprocBus, UnknownDestinationIgnored) {
+  InprocBus bus;
+  bus.send(1, 77, bytes({1}));  // must not crash
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  SUCCEED();
+}
+
+// ------------------------------------------------------------------- TCP
+
+TEST(Tcp, ConnectSendReceive) {
+  Collector server_rx;
+  std::mutex conn_mutex;
+  std::unique_ptr<TcpConnection> server_side;
+  auto listener = TcpListener::listen(0, [&](std::unique_ptr<TcpConnection> c) {
+    std::lock_guard lock(conn_mutex);
+    server_side = std::move(c);
+    server_side->start(
+        [&](std::vector<std::uint8_t> frame) { server_rx.add(std::move(frame)); });
+  });
+  if (!listener.is_ok()) {
+    GTEST_SKIP() << "cannot bind loopback: " << listener.status().to_string();
+  }
+
+  auto client = TcpConnection::connect("127.0.0.1", listener.value()->port());
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  Collector client_rx;
+  client.value()->start(
+      [&](std::vector<std::uint8_t> frame) { client_rx.add(std::move(frame)); });
+
+  const Message msg = make_test_message(3, 14, 159);
+  ASSERT_TRUE(client.value()
+                  ->send_frame(encode_message_frame(WireType::kPublish, msg))
+                  .is_ok());
+  ASSERT_TRUE(server_rx.wait_for_count(1, seconds(5)));
+  const auto decoded = decode_message_frame(server_rx.frames[0]);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->topic, 3u);
+  EXPECT_EQ(decoded->seq, 14u);
+
+  // And the reverse direction.
+  {
+    std::lock_guard lock(conn_mutex);
+    ASSERT_TRUE(server_side->send_frame(encode_control_frame(WireType::kPoll))
+                    .is_ok());
+  }
+  ASSERT_TRUE(client_rx.wait_for_count(1, seconds(5)));
+  EXPECT_EQ(peek_type(client_rx.frames[0]), WireType::kPoll);
+}
+
+TEST(Tcp, ManyFramesKeepOrder) {
+  Collector server_rx;
+  std::mutex conn_mutex;
+  std::unique_ptr<TcpConnection> server_side;
+  auto listener = TcpListener::listen(0, [&](std::unique_ptr<TcpConnection> c) {
+    std::lock_guard lock(conn_mutex);
+    server_side = std::move(c);
+    server_side->start(
+        [&](std::vector<std::uint8_t> frame) { server_rx.add(std::move(frame)); });
+  });
+  if (!listener.is_ok()) {
+    GTEST_SKIP() << "cannot bind loopback";
+  }
+  auto client = TcpConnection::connect("127.0.0.1", listener.value()->port());
+  ASSERT_TRUE(client.is_ok());
+  client.value()->start([](std::vector<std::uint8_t>) {});
+  constexpr int kFrames = 500;
+  for (int i = 0; i < kFrames; ++i) {
+    std::vector<std::uint8_t> frame{static_cast<std::uint8_t>(i & 0xff),
+                                    static_cast<std::uint8_t>(i >> 8)};
+    ASSERT_TRUE(client.value()->send_frame(frame).is_ok());
+  }
+  ASSERT_TRUE(server_rx.wait_for_count(kFrames, seconds(10)));
+  for (int i = 0; i < kFrames; ++i) {
+    const int got = server_rx.frames[i][0] | (server_rx.frames[i][1] << 8);
+    EXPECT_EQ(got, i);
+  }
+}
+
+TEST(Tcp, SendOnClosedConnectionFails) {
+  auto listener = TcpListener::listen(0, [](std::unique_ptr<TcpConnection>) {});
+  if (!listener.is_ok()) {
+    GTEST_SKIP() << "cannot bind loopback";
+  }
+  auto client = TcpConnection::connect("127.0.0.1", listener.value()->port());
+  ASSERT_TRUE(client.is_ok());
+  client.value()->start([](std::vector<std::uint8_t>) {});
+  client.value()->close();
+  EXPECT_FALSE(client.value()->send_frame(bytes({1})).is_ok());
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  // Bind a port, learn it, close, then connect: expect failure (racy in
+  // theory, reliable on loopback in practice).
+  std::uint16_t port = 0;
+  {
+    auto listener =
+        TcpListener::listen(0, [](std::unique_ptr<TcpConnection>) {});
+    if (!listener.is_ok()) GTEST_SKIP() << "cannot bind loopback";
+    port = listener.value()->port();
+  }
+  auto client = TcpConnection::connect("127.0.0.1", port);
+  EXPECT_FALSE(client.is_ok());
+}
+
+TEST(Tcp, BadAddressRejected) {
+  auto client = TcpConnection::connect("not-an-ip", 1234);
+  ASSERT_FALSE(client.is_ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kInvalid);
+}
+
+}  // namespace
+}  // namespace frame

@@ -1,0 +1,202 @@
+// End-to-end simulator experiments at reduced scale: determinism, fault-free
+// delivery, crash recovery per configuration, and the coordination /
+// selective-replication behaviours the paper's evaluation hinges on.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace frame::sim {
+namespace {
+
+ExperimentConfig small_config(ConfigName name, bool crash) {
+  ExperimentConfig config;
+  config.config = name;
+  config.total_topics = 145;  // 25 + 3*40: fast but structurally complete
+  config.warmup = milliseconds(500);
+  config.measure = seconds(3);
+  config.drain = seconds(1);
+  config.inject_crash = crash;
+  config.seed = 12345;
+  config.watch_categories = {0, 2, 5};
+  return config;
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const auto a = run_experiment(small_config(ConfigName::kFrame, true));
+  const auto b = run_experiment(small_config(ConfigName::kFrame, true));
+  EXPECT_EQ(a.messages_created, b.messages_created);
+  EXPECT_EQ(a.unique_delivered, b.unique_delivered);
+  EXPECT_EQ(a.duplicates_discarded, b.duplicates_discarded);
+  EXPECT_EQ(a.cpu.primary_delivery, b.cpu.primary_delivery);
+  for (std::size_t i = 0; i < a.categories.size(); ++i) {
+    EXPECT_EQ(a.categories[i].total_losses, b.categories[i].total_losses);
+  }
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  auto config = small_config(ConfigName::kFrame, false);
+  const auto a = run_experiment(config);
+  config.seed = 999;
+  const auto b = run_experiment(config);
+  // Link jitter is seeded, so per-message latencies differ between seeds.
+  ASSERT_FALSE(a.traces.empty());
+  ASSERT_FALSE(b.traces.empty());
+  ASSERT_FALSE(a.traces[0].samples.empty());
+  ASSERT_FALSE(b.traces[0].samples.empty());
+  EXPECT_NE(a.traces[0].samples[0].latency, b.traces[0].samples[0].latency);
+}
+
+TEST(Experiment, FaultFreeMeetsEverything) {
+  for (const ConfigName name :
+       {ConfigName::kFrame, ConfigName::kFramePlus, ConfigName::kFcfs,
+        ConfigName::kFcfsMinus}) {
+    const auto result = run_experiment(small_config(name, false));
+    for (const auto& cat : result.categories) {
+      EXPECT_DOUBLE_EQ(cat.loss_success_pct, 100.0)
+          << to_string(name) << " cat " << cat.category;
+      EXPECT_GT(cat.latency_success_pct, 99.0)
+          << to_string(name) << " cat " << cat.category;
+      EXPECT_EQ(cat.total_losses, 0u);
+    }
+    EXPECT_EQ(result.duplicates_discarded, 0u);
+    EXPECT_EQ(result.messages_created, result.unique_delivered);
+  }
+}
+
+TEST(Experiment, CrashMeetsLossToleranceUnderFrame) {
+  const auto result = run_experiment(small_config(ConfigName::kFrame, true));
+  for (const auto& cat : result.categories) {
+    EXPECT_DOUBLE_EQ(cat.loss_success_pct, 100.0) << "cat " << cat.category;
+  }
+  // Categories with retention-covered or replicated messages lose nothing.
+  EXPECT_EQ(result.category(0).total_losses, 0u);
+  EXPECT_EQ(result.category(2).total_losses, 0u);
+  EXPECT_EQ(result.category(5).total_losses, 0u);
+  // Li = 3 categories may lose up to the outage window, never more than 3
+  // consecutively.
+  EXPECT_LE(result.category(1).worst_consecutive_losses, 3u);
+  EXPECT_LE(result.category(3).worst_consecutive_losses, 3u);
+}
+
+TEST(Experiment, CrashMeetsLossToleranceUnderFramePlus) {
+  const auto result =
+      run_experiment(small_config(ConfigName::kFramePlus, true));
+  for (const auto& cat : result.categories) {
+    EXPECT_DOUBLE_EQ(cat.loss_success_pct, 100.0) << "cat " << cat.category;
+  }
+  // FRAME+ performs no replication at all (Proposition 1 after the bump).
+  EXPECT_EQ(result.primary_stats.replications_executed, 0u);
+  EXPECT_EQ(result.backup_stats.replicas_received, 0u);
+}
+
+TEST(Experiment, FrameReplicatesOnlyCategories2And5) {
+  const auto result = run_experiment(small_config(ConfigName::kFrame, false));
+  // Replication jobs exist only for categories 2 and 5; prunes follow
+  // dispatches of replicated messages.
+  EXPECT_GT(result.primary_stats.replications_executed, 0u);
+  EXPECT_GT(result.primary_stats.prune_requests, 0u);
+  // cat2 has 40 topics at 10 Hz + cat5 5 topics at 2 Hz over the run.
+  // Every replication belongs to those topics; the backup receives them.
+  EXPECT_EQ(result.backup_stats.replicas_received,
+            result.primary_stats.replications_executed);
+}
+
+TEST(Experiment, CoordinationPrunesBackupBuffer) {
+  // With coordination (FRAME), the Backup Buffer holds almost nothing at
+  // promotion; without it (FCFS-), it is full.
+  const auto frame = run_experiment(small_config(ConfigName::kFrame, true));
+  const auto fcfs_minus =
+      run_experiment(small_config(ConfigName::kFcfsMinus, true));
+  EXPECT_LT(frame.backup_live_at_promotion, 20u);
+  // FCFS- replicates cats 0,1,2,3,5 (90 topics here) with 10-deep rings.
+  EXPECT_GT(fcfs_minus.backup_live_at_promotion, 500u);
+  EXPECT_EQ(fcfs_minus.backup_live_at_promotion,
+            fcfs_minus.backup_size_at_promotion);
+  // The uncoordinated recovery dispatches stale copies: duplicates at the
+  // subscriber.
+  EXPECT_GT(fcfs_minus.duplicates_discarded, frame.duplicates_discarded);
+}
+
+TEST(Experiment, RecoveryTraceShowsFailoverLatencyBump) {
+  const auto result = run_experiment(small_config(ConfigName::kFrame, true));
+  ASSERT_EQ(result.traces.size(), 3u);
+  const auto& cat0 = result.traces[0];
+  EXPECT_EQ(cat0.category, 0);
+  ASSERT_FALSE(cat0.samples.empty());
+  // Some message around the crash was recovered (resent by the publisher).
+  bool any_recovered = false;
+  for (const auto& sample : cat0.samples) {
+    any_recovered = any_recovered || sample.recovered;
+  }
+  EXPECT_TRUE(any_recovered);
+  // And zero losses for the watched zero-loss topic.
+  EXPECT_EQ(cat0.losses, 0u);
+}
+
+TEST(Experiment, CrashTimeHonoursFraction) {
+  auto config = small_config(ConfigName::kFrame, true);
+  config.crash_fraction = 0.25;
+  EXPECT_EQ(crash_time(config),
+            config.warmup + milliseconds(750));
+  config.inject_crash = false;
+  EXPECT_EQ(crash_time(config), 0);
+}
+
+TEST(Experiment, PromotedBackupServesTraffic) {
+  const auto result = run_experiment(small_config(ConfigName::kFrame, true));
+  EXPECT_GT(result.promoted_stats.arrivals, 0u);
+  EXPECT_GT(result.promoted_stats.dispatches_executed, 0u);
+  // The new Primary never replicates (no Backup of its own).
+  EXPECT_EQ(result.promoted_stats.replications_executed, 0u);
+  EXPECT_GT(result.cpu.backup_delivery, 0.0);
+}
+
+TEST(Experiment, CustomWorkloadIsUsed) {
+  ExperimentConfig config;
+  config.config = ConfigName::kFrame;
+  config.warmup = milliseconds(200);
+  config.measure = seconds(1);
+  config.drain = milliseconds(500);
+  config.seed = 3;
+  Workload workload;
+  workload.topics.push_back(table2_spec(5, 0));
+  workload.category.push_back(5);
+  workload.proxies.push_back(ProxySpec{milliseconds(500), {0}});
+  config.custom_workload = workload;
+  const auto result = run_experiment(config);
+  EXPECT_EQ(result.total_topics, 1u);
+  ASSERT_EQ(result.categories.size(), 1u);
+  EXPECT_EQ(result.categories[0].category, 5);
+  EXPECT_GT(result.messages_created, 0u);
+}
+
+TEST(Experiment, DiurnalCloudStillLossless) {
+  // Fig. 8 in miniature: cloud latency varies with (virtual) time of day;
+  // with the configured lower bound, no message is lost and deadlines hold.
+  ExperimentConfig config;
+  config.config = ConfigName::kFrame;
+  config.warmup = milliseconds(200);
+  config.measure = seconds(5);
+  config.drain = seconds(1);
+  config.seed = 8;
+  config.diurnal_cloud = true;
+  Workload workload;
+  for (TopicId id = 0; id < 5; ++id) {
+    workload.topics.push_back(table2_spec(5, id));
+    workload.category.push_back(5);
+    workload.proxies.push_back(ProxySpec{milliseconds(500), {id}});
+  }
+  config.custom_workload = workload;
+  config.watch_categories = {5};
+  const auto result = run_experiment(config);
+  EXPECT_EQ(result.category(5).total_losses, 0u);
+  EXPECT_DOUBLE_EQ(result.category(5).loss_success_pct, 100.0);
+  ASSERT_EQ(result.traces.size(), 1u);
+  // Recorded ΔBS reflects the cloud link, not the edge link.
+  for (const auto& sample : result.traces[0].samples) {
+    EXPECT_GE(sample.delta_bs, microseconds(20'700));
+  }
+}
+
+}  // namespace
+}  // namespace frame::sim

@@ -1,0 +1,121 @@
+// Property-style invariant tests: for every configuration and a sweep of
+// seeds, whole-system conservation and sanity properties must hold in the
+// simulator, crash or no crash.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace frame::sim {
+namespace {
+
+struct Case {
+  ConfigName config;
+  bool crash;
+  bool rejoin;
+  std::uint64_t seed;
+};
+
+class SimInvariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SimInvariants, ConservationAndSanity) {
+  const Case& param = GetParam();
+  ExperimentConfig config;
+  config.config = param.config;
+  config.total_topics = 145;
+  config.warmup = milliseconds(400);
+  config.measure = seconds(3);
+  config.drain = seconds(1);
+  config.inject_crash = param.crash;
+  config.backup_rejoin = param.rejoin;
+  config.rejoin_delay = milliseconds(400);
+  config.seed = param.seed;
+  config.watch_categories = {0, 2, 5};
+  const auto result = run_experiment(config);
+
+  // Conservation: unique deliveries never exceed creations; with no crash
+  // they match exactly (drain is long enough at this load).
+  EXPECT_LE(result.unique_delivered, result.messages_created);
+  if (!param.crash) {
+    EXPECT_EQ(result.unique_delivered, result.messages_created);
+    EXPECT_EQ(result.duplicates_discarded, 0u);
+  }
+
+  // Every delivered sample respects the physical latency floor of its
+  // link (>= 0.2 ms edge / >= 20.7 ms cloud one-way, plus processing).
+  for (const auto& trace : result.traces) {
+    for (const auto& sample : trace.samples) {
+      EXPECT_GT(sample.latency, 0);
+      const Duration floor = trace.category == 5
+                                 ? microseconds(20'700)
+                                 : microseconds(200);
+      EXPECT_GE(sample.latency, floor);
+      // Sequence numbers are positive and the trace is duplicate-free.
+    }
+    for (std::size_t i = 1; i < trace.samples.size(); ++i) {
+      EXPECT_NE(trace.samples[i].seq, trace.samples[i - 1].seq);
+    }
+  }
+
+  // CPU utilisation is a percentage of module capacity.
+  EXPECT_GE(result.cpu.primary_delivery, 0.0);
+  EXPECT_LE(result.cpu.primary_delivery, 100.5);
+  EXPECT_LE(result.cpu.primary_proxy, 100.5);
+  EXPECT_LE(result.cpu.backup_proxy, 100.5);
+
+  // Category accounting covers all six categories with the right counts.
+  ASSERT_EQ(result.categories.size(), 6u);
+  std::size_t total_topics = 0;
+  for (const auto& cat : result.categories) {
+    total_topics += cat.topic_count;
+    EXPECT_GE(cat.loss_success_pct, 0.0);
+    EXPECT_LE(cat.loss_success_pct, 100.0);
+    EXPECT_GE(cat.latency_success_pct, 0.0);
+    EXPECT_LE(cat.latency_success_pct, 100.0);
+  }
+  EXPECT_EQ(total_topics, 145u);
+
+  // Engine bookkeeping: executed dispatches need subscribers; replication
+  // aborts only happen with coordination enabled.
+  const auto& stats = result.primary_stats;
+  EXPECT_LE(stats.replications_executed + stats.replications_aborted,
+            stats.replicate_jobs_created);
+  if (!broker_config(param.config).coordination) {
+    EXPECT_EQ(stats.replications_aborted, 0u);
+    EXPECT_EQ(stats.prune_requests, 0u);
+  }
+  // Best-effort (category 4) topics are never replicated.
+  if (param.config == ConfigName::kFramePlus) {
+    EXPECT_EQ(stats.replicate_jobs_created, 0u);
+  }
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (const ConfigName config :
+       {ConfigName::kFrame, ConfigName::kFramePlus, ConfigName::kFcfs,
+        ConfigName::kFcfsMinus}) {
+    for (const bool crash : {false, true}) {
+      for (const std::uint64_t seed : {11ull, 23ull, 37ull}) {
+        cases.push_back(Case{config, crash, crash && seed % 2 == 1, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimInvariants, ::testing::ValuesIn(make_cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name(to_string(info.param.config));
+      for (auto& c : name) {
+        if (c == '+') c = 'P';
+        if (c == '-') c = 'M';
+      }
+      name += info.param.crash ? "_crash" : "_clean";
+      if (info.param.rejoin) name += "_rejoin";
+      name += "_s" + std::to_string(info.param.seed);
+      return name;
+    });
+
+}  // namespace
+}  // namespace frame::sim

@@ -1,0 +1,127 @@
+// Empirical validation of the paper's theorems in the simulator.
+//
+// Lemma 1: if every replicating job completes within Dr = (Ni+Li)Ti − ΔPB
+// − ΔBB − x, no subscriber sees more than Li consecutive losses across a
+// Primary crash.  Lemma 2: if every dispatching job completes within
+// Dd = Di − ΔPB − ΔBS, every message meets its end-to-end deadline.
+//
+// The simulator measures each job's actual response time against its
+// absolute lemma deadline, so the implications themselves can be checked
+// across configurations and seeds: whenever the premise holds (zero
+// deadline misses), the conclusion must hold (loss-tolerance / latency
+// success at 100%).
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace frame::sim {
+namespace {
+
+struct Case {
+  ConfigName config;
+  std::size_t topics;
+  std::uint64_t seed;
+};
+
+class LemmaValidation : public ::testing::TestWithParam<Case> {};
+
+TEST_P(LemmaValidation, Lemma1PremiseImpliesLossTolerance) {
+  const Case& param = GetParam();
+  ExperimentConfig config;
+  config.config = param.config;
+  config.total_topics = param.topics;
+  config.warmup = milliseconds(500);
+  config.measure = seconds(4);
+  config.drain = seconds(2);
+  config.inject_crash = true;
+  config.seed = param.seed;
+  const auto result = run_experiment(config);
+
+  // The premise must actually be exercised and hold at these loads.
+  EXPECT_GT(result.responses.dispatch_jobs, 0u);
+  EXPECT_EQ(result.responses.replicate_misses, 0u)
+      << "replication deadline missed at " << param.topics << " topics";
+
+  // Lemma 1's conclusion: every loss-tolerance requirement met.
+  for (const auto& cat : result.categories) {
+    EXPECT_DOUBLE_EQ(cat.loss_success_pct, 100.0)
+        << to_string(param.config) << " cat " << cat.category;
+  }
+}
+
+TEST_P(LemmaValidation, Lemma2PremiseImpliesDeadlines) {
+  const Case& param = GetParam();
+  ExperimentConfig config;
+  config.config = param.config;
+  config.total_topics = param.topics;
+  config.warmup = milliseconds(500);
+  config.measure = seconds(4);
+  config.drain = seconds(2);
+  config.inject_crash = false;  // fault-free, as in Table 5
+  config.seed = param.seed;
+  const auto result = run_experiment(config);
+
+  ASSERT_GT(result.responses.dispatch_jobs, 0u);
+  EXPECT_EQ(result.responses.dispatch_misses, 0u);
+  for (const auto& cat : result.categories) {
+    EXPECT_DOUBLE_EQ(cat.latency_success_pct, 100.0)
+        << to_string(param.config) << " cat " << cat.category;
+  }
+}
+
+// Only non-overloaded cells: the lemma premises are satisfiable there.
+INSTANTIATE_TEST_SUITE_P(
+    HealthyCells, LemmaValidation,
+    ::testing::Values(Case{ConfigName::kFrame, 1525, 3},
+                      Case{ConfigName::kFrame, 4525, 5},
+                      Case{ConfigName::kFramePlus, 4525, 7},
+                      Case{ConfigName::kFcfs, 1525, 11},
+                      Case{ConfigName::kFcfsMinus, 4525, 13}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name(to_string(info.param.config));
+      for (auto& c : name) {
+        if (c == '+') c = 'P';
+        if (c == '-') c = 'M';
+      }
+      return name + "_" + std::to_string(info.param.topics) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// Under overload the premise breaks -- and the simulator shows exactly
+// that: misses appear and the conclusions degrade together.
+TEST(LemmaValidation, OverloadBreaksPremiseAndConclusionTogether) {
+  ExperimentConfig config;
+  config.config = ConfigName::kFcfs;
+  config.total_topics = 10525;  // 146% offered: deeply overloaded
+  config.warmup = milliseconds(500);
+  config.measure = seconds(4);
+  config.drain = seconds(2);
+  config.inject_crash = false;
+  config.seed = 17;
+  const auto result = run_experiment(config);
+  EXPECT_GT(result.responses.dispatch_misses, 0u);
+  EXPECT_LT(result.category(0).latency_success_pct, 50.0);
+}
+
+// Response-time sanity: samples are positive and bounded by the run span;
+// FRAME's replication responses stay far below the category-2 pseudo
+// deadline (49.95 ms) at moderate load.
+TEST(LemmaValidation, ResponseTimesAreSane) {
+  ExperimentConfig config;
+  config.config = ConfigName::kFrame;
+  config.total_topics = 4525;
+  config.warmup = milliseconds(500);
+  config.measure = seconds(4);
+  config.drain = seconds(1);
+  config.seed = 23;
+  const auto result = run_experiment(config);
+  ASSERT_GT(result.responses.replicate_jobs, 0u);
+  EXPECT_GT(result.responses.replicate.min(), 0.0);
+  EXPECT_LT(result.responses.replicate.max(),
+            static_cast<double>(milliseconds_f(49.95)));
+  EXPECT_LT(result.responses.dispatch.mean(),
+            static_cast<double>(milliseconds(1)));
+}
+
+}  // namespace
+}  // namespace frame::sim

@@ -1,0 +1,165 @@
+// DES kernel, latency models, and workload generator tests.
+#include <gtest/gtest.h>
+
+#include "sim/des.hpp"
+#include "sim/latency_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/workload.hpp"
+
+namespace frame::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.push(30, EvKind::kCrash);
+  queue.push(10, EvKind::kPublisherBatch);
+  queue.push(20, EvKind::kPromote);
+  EXPECT_EQ(queue.pop().time, 10);
+  EXPECT_EQ(queue.pop().time, 20);
+  EXPECT_EQ(queue.pop().time, 30);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  queue.push(5, EvKind::kArrival, 1);
+  queue.push(5, EvKind::kArrival, 2);
+  queue.push(5, EvKind::kArrival, 3);
+  EXPECT_EQ(queue.pop().a, 1u);
+  EXPECT_EQ(queue.pop().a, 2u);
+  EXPECT_EQ(queue.pop().a, 3u);
+}
+
+TEST(EventQueue, CarriesMessagePayload) {
+  EventQueue queue;
+  queue.push(1, EvKind::kDeliver, 7, 0, make_test_message(3, 9, 42));
+  const SimEvent event = queue.pop();
+  EXPECT_EQ(event.msg.topic, 3u);
+  EXPECT_EQ(event.msg.seq, 9u);
+}
+
+TEST(LatencyModels, ConstantAndUniformBounds) {
+  Rng rng(1);
+  ConstantLatency constant(milliseconds(5));
+  EXPECT_EQ(constant.sample(rng, 0), milliseconds(5));
+  EXPECT_EQ(constant.lower_bound(), milliseconds(5));
+
+  UniformLatency uniform(microseconds(100), microseconds(200));
+  for (int i = 0; i < 1000; ++i) {
+    const Duration sample = uniform.sample(rng, 0);
+    EXPECT_GE(sample, microseconds(100));
+    EXPECT_LT(sample, microseconds(200));
+  }
+  EXPECT_EQ(uniform.lower_bound(), microseconds(100));
+}
+
+TEST(LatencyModels, NormalRespectsFloor) {
+  Rng rng(2);
+  NormalLatency normal(milliseconds(22), milliseconds(10), milliseconds(20));
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(normal.sample(rng, 0), milliseconds(20));
+  }
+}
+
+TEST(LatencyModels, DiurnalFloorSwellAndSpike) {
+  Rng rng(3);
+  DiurnalCloudLatency::Profile profile;
+  DiurnalCloudLatency diurnal(profile);
+
+  // Floor holds everywhere.
+  for (int hour = 0; hour < 24; ++hour) {
+    const Duration sample = diurnal.sample(rng, seconds(hour * 3600));
+    EXPECT_GE(sample, profile.floor);
+  }
+  // Night (3 am) is faster than mid-afternoon (3 pm) on average.
+  double night = 0;
+  double afternoon = 0;
+  for (int i = 0; i < 500; ++i) {
+    night += static_cast<double>(diurnal.sample(rng, seconds(3 * 3600)));
+    afternoon += static_cast<double>(diurnal.sample(rng, seconds(15 * 3600)));
+  }
+  EXPECT_LT(night, afternoon);
+  // The 8 am spike exceeds +100 ms over the floor.
+  const Duration spiked =
+      diurnal.sample(rng, profile.spike_time_of_day);
+  EXPECT_GE(spiked, profile.floor + milliseconds(100));
+  // One second outside the spike window: no spike.
+  const Duration outside = diurnal.sample(
+      rng, profile.spike_time_of_day + profile.spike_width + seconds(1));
+  EXPECT_LT(outside, profile.floor + milliseconds(60));
+}
+
+TEST(Workload, PaperTotalsDecomposeCorrectly) {
+  const TimingParams params = paper_timing_params();
+  for (const std::size_t total : kPaperWorkloads) {
+    const Workload workload = make_table2_workload(total, params);
+    EXPECT_EQ(workload.topic_count(), total);
+    EXPECT_EQ(workload.topics_in_category(0).size(), 10u);
+    EXPECT_EQ(workload.topics_in_category(1).size(), 10u);
+    EXPECT_EQ(workload.topics_in_category(5).size(), 5u);
+    const std::size_t bulk = (total - 25) / 3;
+    EXPECT_EQ(workload.topics_in_category(2).size(), bulk);
+    EXPECT_EQ(workload.topics_in_category(3).size(), bulk);
+    EXPECT_EQ(workload.topics_in_category(4).size(), bulk);
+  }
+}
+
+TEST(Workload, TopicIdsAreDense) {
+  const Workload workload = make_table2_workload(1525, paper_timing_params());
+  for (std::size_t i = 0; i < workload.topic_count(); ++i) {
+    EXPECT_EQ(workload.topics[i].id, static_cast<TopicId>(i));
+  }
+}
+
+TEST(Workload, ProxyFanoutMatchesPaper) {
+  const Workload workload = make_table2_workload(1525, paper_timing_params());
+  // 10-topic proxies for cats 0-1, 50-topic proxies for cats 2-4 (500 each
+  // at this size), 1-topic proxies for cat 5.
+  std::size_t ten = 0;
+  std::size_t fifty = 0;
+  std::size_t one = 0;
+  for (const auto& proxy : workload.proxies) {
+    if (proxy.topics.size() == 10) ++ten;
+    if (proxy.topics.size() == 50) ++fifty;
+    if (proxy.topics.size() == 1) ++one;
+  }
+  EXPECT_EQ(ten, 2u);
+  EXPECT_EQ(fifty, 30u);
+  EXPECT_EQ(one, 5u);
+  // Every proxy's topics share its period.
+  for (const auto& proxy : workload.proxies) {
+    for (const TopicId topic : proxy.topics) {
+      EXPECT_EQ(workload.topics[topic].period, proxy.period);
+    }
+  }
+}
+
+TEST(Workload, MessageRateMatchesHandComputation) {
+  const Workload workload = make_table2_workload(1525, paper_timing_params());
+  // cats 0-1: 20 topics at 20 Hz; cats 2-4: 1500 at 10 Hz; cat 5: 5 at 2 Hz.
+  EXPECT_NEAR(workload.message_rate(), 20 * 20 + 1500 * 10 + 5 * 2, 1e-6);
+}
+
+TEST(Workload, RetentionBumpOnlyTouchesReplicatingCategories) {
+  const TimingParams params = paper_timing_params();
+  const Workload plain = make_table2_workload(1525, params, false);
+  const Workload bumped = make_table2_workload(1525, params, true);
+  for (std::size_t i = 0; i < plain.topic_count(); ++i) {
+    const int cat = plain.category[i];
+    if (cat == 2 || cat == 5) {
+      EXPECT_EQ(bumped.topics[i].retention, plain.topics[i].retention + 1);
+    } else {
+      EXPECT_EQ(bumped.topics[i].retention, plain.topics[i].retention);
+    }
+  }
+}
+
+TEST(Workload, RepresentativeTopics) {
+  const Workload workload = make_table2_workload(1525, paper_timing_params());
+  EXPECT_EQ(workload.representative(0), 0u);
+  EXPECT_EQ(workload.category[workload.representative(2)], 2);
+  EXPECT_EQ(workload.category[workload.representative(5)], 5);
+}
+
+}  // namespace
+}  // namespace frame::sim
