@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_selective.dir/bench_ablation_selective.cpp.o"
+  "CMakeFiles/bench_ablation_selective.dir/bench_ablation_selective.cpp.o.d"
+  "bench_ablation_selective"
+  "bench_ablation_selective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_selective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_capacity.dir/bench_analysis_capacity.cpp.o"
+  "CMakeFiles/bench_analysis_capacity.dir/bench_analysis_capacity.cpp.o.d"
+  "bench_analysis_capacity"
+  "bench_analysis_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

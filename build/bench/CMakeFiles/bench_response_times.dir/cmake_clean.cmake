@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_response_times.dir/bench_response_times.cpp.o"
+  "CMakeFiles/bench_response_times.dir/bench_response_times.cpp.o.d"
+  "bench_response_times"
+  "bench_response_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_response_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_scenario_table2.cpp" "bench/CMakeFiles/bench_scenario_table2.dir/bench_scenario_table2.cpp.o" "gcc" "bench/CMakeFiles/bench_scenario_table2.dir/bench_scenario_table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/frame_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/frame_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsvc/CMakeFiles/frame_eventsvc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/frame_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/frame_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

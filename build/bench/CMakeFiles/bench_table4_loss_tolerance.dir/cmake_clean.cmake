@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_loss_tolerance.dir/bench_table4_loss_tolerance.cpp.o"
+  "CMakeFiles/bench_table4_loss_tolerance.dir/bench_table4_loss_tolerance.cpp.o.d"
+  "bench_table4_loss_tolerance"
+  "bench_table4_loss_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_loss_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

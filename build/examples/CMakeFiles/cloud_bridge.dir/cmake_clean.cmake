@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_bridge.dir/cloud_bridge.cpp.o"
+  "CMakeFiles/cloud_bridge.dir/cloud_bridge.cpp.o.d"
+  "cloud_bridge"
+  "cloud_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

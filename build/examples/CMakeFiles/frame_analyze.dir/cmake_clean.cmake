@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_analyze.dir/frame_analyze.cpp.o"
+  "CMakeFiles/frame_analyze.dir/frame_analyze.cpp.o.d"
+  "frame_analyze"
+  "frame_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iiot_edge_monitoring.dir/iiot_edge_monitoring.cpp.o"
+  "CMakeFiles/iiot_edge_monitoring.dir/iiot_edge_monitoring.cpp.o.d"
+  "iiot_edge_monitoring"
+  "iiot_edge_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iiot_edge_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

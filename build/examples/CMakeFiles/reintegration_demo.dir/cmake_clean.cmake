@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reintegration_demo.dir/reintegration_demo.cpp.o"
+  "CMakeFiles/reintegration_demo.dir/reintegration_demo.cpp.o.d"
+  "reintegration_demo"
+  "reintegration_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reintegration_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

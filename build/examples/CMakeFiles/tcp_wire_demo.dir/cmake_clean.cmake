@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_wire_demo.dir/tcp_wire_demo.cpp.o"
+  "CMakeFiles/tcp_wire_demo.dir/tcp_wire_demo.cpp.o.d"
+  "tcp_wire_demo"
+  "tcp_wire_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_wire_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

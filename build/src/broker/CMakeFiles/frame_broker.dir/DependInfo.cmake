@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broker/config.cpp" "src/broker/CMakeFiles/frame_broker.dir/config.cpp.o" "gcc" "src/broker/CMakeFiles/frame_broker.dir/config.cpp.o.d"
+  "/root/repo/src/broker/primary_engine.cpp" "src/broker/CMakeFiles/frame_broker.dir/primary_engine.cpp.o" "gcc" "src/broker/CMakeFiles/frame_broker.dir/primary_engine.cpp.o.d"
+  "/root/repo/src/broker/publisher_engine.cpp" "src/broker/CMakeFiles/frame_broker.dir/publisher_engine.cpp.o" "gcc" "src/broker/CMakeFiles/frame_broker.dir/publisher_engine.cpp.o.d"
+  "/root/repo/src/broker/subscriber_engine.cpp" "src/broker/CMakeFiles/frame_broker.dir/subscriber_engine.cpp.o" "gcc" "src/broker/CMakeFiles/frame_broker.dir/subscriber_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/frame_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/frame_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_broker.dir/config.cpp.o"
+  "CMakeFiles/frame_broker.dir/config.cpp.o.d"
+  "CMakeFiles/frame_broker.dir/primary_engine.cpp.o"
+  "CMakeFiles/frame_broker.dir/primary_engine.cpp.o.d"
+  "CMakeFiles/frame_broker.dir/publisher_engine.cpp.o"
+  "CMakeFiles/frame_broker.dir/publisher_engine.cpp.o.d"
+  "CMakeFiles/frame_broker.dir/subscriber_engine.cpp.o"
+  "CMakeFiles/frame_broker.dir/subscriber_engine.cpp.o.d"
+  "libframe_broker.a"
+  "libframe_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_common.dir/result.cpp.o"
+  "CMakeFiles/frame_common.dir/result.cpp.o.d"
+  "CMakeFiles/frame_common.dir/time.cpp.o"
+  "CMakeFiles/frame_common.dir/time.cpp.o.d"
+  "libframe_common.a"
+  "libframe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

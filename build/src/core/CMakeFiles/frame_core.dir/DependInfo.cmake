@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backup_store.cpp" "src/core/CMakeFiles/frame_core.dir/backup_store.cpp.o" "gcc" "src/core/CMakeFiles/frame_core.dir/backup_store.cpp.o.d"
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/frame_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/frame_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/config_file.cpp" "src/core/CMakeFiles/frame_core.dir/config_file.cpp.o" "gcc" "src/core/CMakeFiles/frame_core.dir/config_file.cpp.o.d"
+  "/root/repo/src/core/differentiation.cpp" "src/core/CMakeFiles/frame_core.dir/differentiation.cpp.o" "gcc" "src/core/CMakeFiles/frame_core.dir/differentiation.cpp.o.d"
+  "/root/repo/src/core/job_queue.cpp" "src/core/CMakeFiles/frame_core.dir/job_queue.cpp.o" "gcc" "src/core/CMakeFiles/frame_core.dir/job_queue.cpp.o.d"
+  "/root/repo/src/core/message_store.cpp" "src/core/CMakeFiles/frame_core.dir/message_store.cpp.o" "gcc" "src/core/CMakeFiles/frame_core.dir/message_store.cpp.o.d"
+  "/root/repo/src/core/retention_buffer.cpp" "src/core/CMakeFiles/frame_core.dir/retention_buffer.cpp.o" "gcc" "src/core/CMakeFiles/frame_core.dir/retention_buffer.cpp.o.d"
+  "/root/repo/src/core/timing.cpp" "src/core/CMakeFiles/frame_core.dir/timing.cpp.o" "gcc" "src/core/CMakeFiles/frame_core.dir/timing.cpp.o.d"
+  "/root/repo/src/core/topic.cpp" "src/core/CMakeFiles/frame_core.dir/topic.cpp.o" "gcc" "src/core/CMakeFiles/frame_core.dir/topic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/frame_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/frame_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_core.dir/backup_store.cpp.o"
+  "CMakeFiles/frame_core.dir/backup_store.cpp.o.d"
+  "CMakeFiles/frame_core.dir/capacity.cpp.o"
+  "CMakeFiles/frame_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/frame_core.dir/config_file.cpp.o"
+  "CMakeFiles/frame_core.dir/config_file.cpp.o.d"
+  "CMakeFiles/frame_core.dir/differentiation.cpp.o"
+  "CMakeFiles/frame_core.dir/differentiation.cpp.o.d"
+  "CMakeFiles/frame_core.dir/job_queue.cpp.o"
+  "CMakeFiles/frame_core.dir/job_queue.cpp.o.d"
+  "CMakeFiles/frame_core.dir/message_store.cpp.o"
+  "CMakeFiles/frame_core.dir/message_store.cpp.o.d"
+  "CMakeFiles/frame_core.dir/retention_buffer.cpp.o"
+  "CMakeFiles/frame_core.dir/retention_buffer.cpp.o.d"
+  "CMakeFiles/frame_core.dir/timing.cpp.o"
+  "CMakeFiles/frame_core.dir/timing.cpp.o.d"
+  "CMakeFiles/frame_core.dir/topic.cpp.o"
+  "CMakeFiles/frame_core.dir/topic.cpp.o.d"
+  "libframe_core.a"
+  "libframe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eventsvc/dispatching.cpp" "src/eventsvc/CMakeFiles/frame_eventsvc.dir/dispatching.cpp.o" "gcc" "src/eventsvc/CMakeFiles/frame_eventsvc.dir/dispatching.cpp.o.d"
+  "/root/repo/src/eventsvc/event_channel.cpp" "src/eventsvc/CMakeFiles/frame_eventsvc.dir/event_channel.cpp.o" "gcc" "src/eventsvc/CMakeFiles/frame_eventsvc.dir/event_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/frame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_eventsvc.dir/dispatching.cpp.o"
+  "CMakeFiles/frame_eventsvc.dir/dispatching.cpp.o.d"
+  "CMakeFiles/frame_eventsvc.dir/event_channel.cpp.o"
+  "CMakeFiles/frame_eventsvc.dir/event_channel.cpp.o.d"
+  "libframe_eventsvc.a"
+  "libframe_eventsvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_eventsvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libframe_eventsvc.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_net.dir/inproc_bus.cpp.o"
+  "CMakeFiles/frame_net.dir/inproc_bus.cpp.o.d"
+  "CMakeFiles/frame_net.dir/message.cpp.o"
+  "CMakeFiles/frame_net.dir/message.cpp.o.d"
+  "CMakeFiles/frame_net.dir/tcp.cpp.o"
+  "CMakeFiles/frame_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/frame_net.dir/tcp_bus.cpp.o"
+  "CMakeFiles/frame_net.dir/tcp_bus.cpp.o.d"
+  "CMakeFiles/frame_net.dir/wire.cpp.o"
+  "CMakeFiles/frame_net.dir/wire.cpp.o.d"
+  "libframe_net.a"
+  "libframe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

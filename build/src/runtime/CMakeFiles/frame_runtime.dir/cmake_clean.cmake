@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_runtime.dir/runtime_broker.cpp.o"
+  "CMakeFiles/frame_runtime.dir/runtime_broker.cpp.o.d"
+  "CMakeFiles/frame_runtime.dir/runtime_publisher.cpp.o"
+  "CMakeFiles/frame_runtime.dir/runtime_publisher.cpp.o.d"
+  "CMakeFiles/frame_runtime.dir/system.cpp.o"
+  "CMakeFiles/frame_runtime.dir/system.cpp.o.d"
+  "libframe_runtime.a"
+  "libframe_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/frame_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/frame_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/latency_model.cpp" "src/sim/CMakeFiles/frame_sim.dir/latency_model.cpp.o" "gcc" "src/sim/CMakeFiles/frame_sim.dir/latency_model.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/frame_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/frame_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broker/CMakeFiles/frame_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/frame_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/frame_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_sim.dir/experiment.cpp.o"
+  "CMakeFiles/frame_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/frame_sim.dir/latency_model.cpp.o"
+  "CMakeFiles/frame_sim.dir/latency_model.cpp.o.d"
+  "CMakeFiles/frame_sim.dir/workload.cpp.o"
+  "CMakeFiles/frame_sim.dir/workload.cpp.o.d"
+  "libframe_sim.a"
+  "libframe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

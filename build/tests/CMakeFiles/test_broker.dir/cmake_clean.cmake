@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broker.dir/broker/test_backup_publisher_subscriber.cpp.o"
+  "CMakeFiles/test_broker.dir/broker/test_backup_publisher_subscriber.cpp.o.d"
+  "CMakeFiles/test_broker.dir/broker/test_engine_properties.cpp.o"
+  "CMakeFiles/test_broker.dir/broker/test_engine_properties.cpp.o.d"
+  "CMakeFiles/test_broker.dir/broker/test_primary_engine.cpp.o"
+  "CMakeFiles/test_broker.dir/broker/test_primary_engine.cpp.o.d"
+  "test_broker"
+  "test_broker.pdb"
+  "test_broker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

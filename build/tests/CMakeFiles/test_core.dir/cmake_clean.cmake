@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_buffers.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_buffers.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_capacity.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_capacity.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_config_file.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_config_file.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_differentiation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_differentiation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_job_queue.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_job_queue.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_timing.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_timing.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

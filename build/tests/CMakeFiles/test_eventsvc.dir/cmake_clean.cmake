@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eventsvc.dir/eventsvc/test_channel_threaded.cpp.o"
+  "CMakeFiles/test_eventsvc.dir/eventsvc/test_channel_threaded.cpp.o.d"
+  "CMakeFiles/test_eventsvc.dir/eventsvc/test_eventsvc.cpp.o"
+  "CMakeFiles/test_eventsvc.dir/eventsvc/test_eventsvc.cpp.o.d"
+  "test_eventsvc"
+  "test_eventsvc.pdb"
+  "test_eventsvc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eventsvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_experiment.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o.d"
+  "/root/repo/tests/sim/test_invariants.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_invariants.cpp.o.d"
+  "/root/repo/tests/sim/test_lemma_validation.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_lemma_validation.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_lemma_validation.cpp.o.d"
+  "/root/repo/tests/sim/test_reintegration.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_reintegration.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_reintegration.cpp.o.d"
+  "/root/repo/tests/sim/test_scenarios.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_scenarios.cpp.o.d"
+  "/root/repo/tests/sim/test_sim_components.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sim_components.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sim_components.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/frame_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frame_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/frame_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventsvc/CMakeFiles/frame_eventsvc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/frame_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/frame_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/frame_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

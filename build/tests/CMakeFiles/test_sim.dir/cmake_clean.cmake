@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_invariants.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_invariants.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_lemma_validation.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_lemma_validation.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_reintegration.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_reintegration.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_scenarios.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_scenarios.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sim_components.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_sim_components.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
