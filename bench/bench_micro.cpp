@@ -9,6 +9,7 @@
 #include "core/job_queue.hpp"
 #include "eventsvc/correlation.hpp"
 #include "net/wire.hpp"
+#include "obs/obs.hpp"
 
 namespace frame {
 namespace {
@@ -147,6 +148,43 @@ void BM_EnginePublishReplicateDispatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnginePublishReplicateDispatch);
+
+void BM_EnginePublishDispatchObs(benchmark::State& state) {
+  // Same fast path with observability compiled in and toggled by the
+  // benchmark argument (0 = obs off, 1 = obs on).  The 0 case bounds the
+  // disabled-hook overhead vs BM_EnginePublishDispatch.
+  obs::EnabledScope scope(state.range(0) != 0);
+  obs::reset_all();
+  PrimaryEngine engine = bench_engine(ConfigName::kFrame);
+  SeqNo seq = 1;
+  TimePoint now = 0;
+  for (auto _ : state) {
+    engine.on_publish(make_test_message(0, seq, now), now);
+    const auto job = engine.next_job();
+    benchmark::DoNotOptimize(engine.execute_dispatch(*job, now));
+    ++seq;
+    now += 1000;
+  }
+}
+BENCHMARK(BM_EnginePublishDispatchObs)->Arg(0)->Arg(1);
+
+void BM_EnginePublishReplicateDispatchObs(benchmark::State& state) {
+  obs::EnabledScope scope(state.range(0) != 0);
+  obs::reset_all();
+  PrimaryEngine engine = bench_engine(ConfigName::kFrame);
+  SeqNo seq = 1;
+  TimePoint now = 0;
+  for (auto _ : state) {
+    engine.on_publish(make_test_message(2, seq, now), now);
+    const auto rep = engine.next_job();
+    benchmark::DoNotOptimize(engine.execute_replicate(*rep, now));
+    const auto disp = engine.next_job();
+    benchmark::DoNotOptimize(engine.execute_dispatch(*disp, now));
+    ++seq;
+    now += 1000;
+  }
+}
+BENCHMARK(BM_EnginePublishReplicateDispatchObs)->Arg(0)->Arg(1);
 
 void BM_CorrelatorConjunction(benchmark::State& state) {
   using namespace eventsvc;

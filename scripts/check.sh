@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite in one step.
+#
+#   scripts/check.sh                 # plain build into build/
+#   FRAME_SANITIZE=thread scripts/check.sh    # TSan build into build-tsan/
+#   FRAME_SANITIZE=address scripts/check.sh   # ASan+UBSan into build-asan/
+#
+# Extra arguments are forwarded to ctest, e.g.
+#   scripts/check.sh -R Obs          # only the observability tests
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+sanitize="${FRAME_SANITIZE:-}"
+
+case "$sanitize" in
+  "")       build_dir="$repo/build" ;;
+  thread)   build_dir="$repo/build-tsan" ;;
+  address)  build_dir="$repo/build-asan" ;;
+  *) echo "error: FRAME_SANITIZE must be empty, 'thread', or 'address'" >&2
+     exit 2 ;;
+esac
+
+cmake -B "$build_dir" -S "$repo" -DFRAME_SANITIZE="$sanitize"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"

@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace frame {
+
+namespace {
+/// Remaining slack until an absolute deadline; infinite when either side
+/// is unknown/unbounded.
+Duration slack_until(TimePoint deadline, TimePoint now) {
+  if (deadline == kTimeNever || now == kTimeNever) return kDurationInfinite;
+  return deadline - now;
+}
+}  // namespace
 
 PrimaryEngine::PrimaryEngine(BrokerConfig config, std::vector<TopicSpec> specs,
                              TimingParams params)
@@ -20,6 +31,10 @@ PrimaryEngine::PrimaryEngine(BrokerConfig config, std::vector<TopicSpec> specs,
   }
   subscribers_.resize(specs_.size());
   store_.configure(specs_.size());
+  // Install the topic table in the deadline accountant so slack/loss hooks
+  // can attribute to Li/Di.  Only when observability is live: the sim runs
+  // tens of thousands of topics with obs off and must not pay the slots.
+  if (obs::enabled()) obs::accountant().configure(specs_);
 }
 
 void PrimaryEngine::subscribe(TopicId topic, NodeId subscriber) {
@@ -52,6 +67,11 @@ void PrimaryEngine::generate_jobs(const Message& msg, TimePoint now,
     job.order = next_order_++;
     queue_.push(job);
     ++stats_.replicate_jobs_created;
+    if (obs::enabled()) {
+      obs::hooks::job_enqueue(msg.topic, msg.seq, now, /*replicate=*/true,
+                              kDurationInfinite,
+                              slack_until(job.deadline, now));
+    }
     if (auto* entry = store_.find(msg.topic, msg.seq)) {
       entry->replicate_job_pending = true;
     }
@@ -69,16 +89,27 @@ void PrimaryEngine::generate_jobs(const Message& msg, TimePoint now,
   job.order = next_order_++;
   queue_.push(job);
   ++stats_.dispatch_jobs_created;
+  if (obs::enabled()) {
+    obs::hooks::job_enqueue(msg.topic, msg.seq, now, /*replicate=*/false,
+                            slack_until(job.deadline, now), kDurationInfinite);
+  }
 }
 
 void PrimaryEngine::on_publish(const Message& msg, TimePoint now,
                                bool allow_replication) {
   if (msg.topic >= specs_.size()) return;
   ++stats_.arrivals;
+  if (obs::enabled()) {
+    obs::hooks::proxy_admit(msg.topic, msg.seq, now, now - msg.created_at,
+                            /*recovery=*/false);
+  }
   Message stored = msg;
   stored.broker_arrival = now;
   if (auto evicted = store_.insert(stored)) {
-    if (!evicted->dispatched) ++stats_.overwritten_undelivered;
+    if (!evicted->dispatched) {
+      ++stats_.overwritten_undelivered;
+      obs::hooks::copy_dropped(evicted->msg.topic, evicted->msg.seq, now);
+    }
   }
   generate_jobs(stored, now, JobSource::kMessageBuffer, allow_replication);
 }
@@ -86,11 +117,18 @@ void PrimaryEngine::on_publish(const Message& msg, TimePoint now,
 void PrimaryEngine::on_recovery_copy(const Message& msg, TimePoint now) {
   if (msg.topic >= specs_.size()) return;
   ++stats_.recovery_arrivals;
+  if (obs::enabled()) {
+    obs::hooks::proxy_admit(msg.topic, msg.seq, now, now - msg.created_at,
+                            /*recovery=*/true);
+  }
   Message stored = msg;
   stored.broker_arrival = now;
   stored.recovered = true;
   if (auto evicted = store_.insert(stored)) {
-    if (!evicted->dispatched) ++stats_.overwritten_undelivered;
+    if (!evicted->dispatched) {
+      ++stats_.overwritten_undelivered;
+      obs::hooks::copy_dropped(evicted->msg.topic, evicted->msg.seq, now);
+    }
   }
   // Jobs reference the Backup Buffer and never create replication: the
   // promoted Backup has no Backup of its own (Section IV-A).
@@ -100,11 +138,13 @@ void PrimaryEngine::on_recovery_copy(const Message& msg, TimePoint now) {
 
 std::optional<Job> PrimaryEngine::next_job() { return queue_.pop(); }
 
-DispatchEffect PrimaryEngine::execute_dispatch(const Job& job) {
+DispatchEffect PrimaryEngine::execute_dispatch(const Job& job,
+                                               TimePoint now) {
   DispatchEffect effect;
   StoredMessage* entry = store_.find(job.topic, job.seq);
   if (entry == nullptr) {
     ++stats_.stale_jobs;
+    obs::hooks::copy_dropped(job.topic, job.seq, now);
     return effect;
   }
   // Table 3, Dispatch: (1) dispatch to the subscriber(s).
@@ -114,6 +154,10 @@ DispatchEffect PrimaryEngine::execute_dispatch(const Job& job) {
   // (2) set Dispatched to True.
   entry->dispatched = true;
   ++stats_.dispatches_executed;
+  if (obs::enabled()) {
+    obs::hooks::dispatch_executed(job.topic, job.seq, now,
+                                  slack_until(job.deadline, now));
+  }
   if (config_.coordination) {
     if (entry->replicated) {
       // (3) if Replicated, request the Backup to set Discard to True.
@@ -131,11 +175,13 @@ DispatchEffect PrimaryEngine::execute_dispatch(const Job& job) {
   return effect;
 }
 
-ReplicateEffect PrimaryEngine::execute_replicate(const Job& job) {
+ReplicateEffect PrimaryEngine::execute_replicate(const Job& job,
+                                                 TimePoint now) {
   ReplicateEffect effect;
   StoredMessage* entry = store_.find(job.topic, job.seq);
   if (entry == nullptr) {
     ++stats_.stale_jobs;
+    obs::hooks::copy_dropped(job.topic, job.seq, now);
     return effect;
   }
   entry->replicate_job_pending = false;
@@ -150,6 +196,10 @@ ReplicateEffect PrimaryEngine::execute_replicate(const Job& job) {
   effect.msg = entry->msg;
   entry->replicated = true;
   ++stats_.replications_executed;
+  if (obs::enabled()) {
+    obs::hooks::replicate_executed(job.topic, job.seq, now,
+                                   slack_until(job.deadline, now));
+  }
   return effect;
 }
 

@@ -77,12 +77,16 @@ class PrimaryEngine {
   /// requests a Backup prune if the copy was already replicated, and
   /// cancels the pending replicate job otherwise.  Coordination steps are
   /// skipped when the configuration disables them (FCFS-).
-  DispatchEffect execute_dispatch(const Job& job);
+  /// `now` is the execution timestamp; drivers pass it so observability can
+  /// account the remaining Lemma-2 slack (kTimeNever = unknown, no slack
+  /// accounting).
+  DispatchEffect execute_dispatch(const Job& job, TimePoint now = kTimeNever);
 
   /// Executes a replicate job (Table 3, Replicate row): aborts if the copy
   /// was already dispatched (coordination on), else marks Replicated and
-  /// returns the replica to send.
-  ReplicateEffect execute_replicate(const Job& job);
+  /// returns the replica to send.  `now` as in execute_dispatch (Lemma 1).
+  ReplicateEffect execute_replicate(const Job& job,
+                                    TimePoint now = kTimeNever);
 
   /// Backup reintegration: when a fresh Backup (re)joins, it must receive a
   /// copy of every not-yet-dispatched message of the replicating topics so

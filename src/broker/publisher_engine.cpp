@@ -1,5 +1,7 @@
 #include "broker/publisher_engine.hpp"
 
+#include "obs/obs.hpp"
+
 namespace frame {
 
 PublisherEngine::PublisherEngine(NodeId id, std::vector<TopicSpec> topics,
@@ -21,6 +23,7 @@ std::vector<Message> PublisherEngine::create_batch(TimePoint now) {
     Message msg =
         make_test_message(topics_[i].id, next_seq_[i]++, now, payload_size_);
     retention_.retain(msg);
+    obs::hooks::publish(msg.topic, msg.seq, now);
     batch.push_back(msg);
     ++messages_created_;
   }

@@ -77,9 +77,12 @@ class SampleSet {
 
   std::size_t count() const { return samples_.size(); }
 
+  /// Exact percentile with linear interpolation.  `p` is clamped to
+  /// [0, 100]; a NaN `p` reads as 0 (the minimum).
   double percentile(double p) {
     if (samples_.empty()) return 0.0;
     sort_if_needed();
+    p = std::isnan(p) ? 0.0 : std::clamp(p, 0.0, 100.0);
     const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const auto hi = std::min(lo + 1, samples_.size() - 1);
@@ -130,12 +133,20 @@ class Histogram {
       : lo_(lo), hi_(hi), counts_(bins, 0) {}
 
   void add(double x) {
+    if (std::isnan(x)) return;  // NaN orders into no bin
+    std::size_t bin = 0;
     const double span = hi_ - lo_;
-    double pos = (x - lo_) / span * static_cast<double>(counts_.size());
-    auto bin = static_cast<std::int64_t>(pos);
-    bin = std::clamp<std::int64_t>(
-        bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(bin)];
+    if (span > 0.0) {
+      const double pos =
+          (x - lo_) / span * static_cast<double>(counts_.size());
+      // Clamp in the double domain: casting an out-of-range double
+      // (including +/-inf) to an integer is undefined behaviour.
+      const double clamped =
+          std::clamp(pos, 0.0, static_cast<double>(counts_.size() - 1));
+      bin = static_cast<std::size_t>(clamped);
+    }
+    // A degenerate range (lo == hi) counts everything in bin 0.
+    ++counts_[bin];
     ++total_;
   }
 

@@ -1,5 +1,7 @@
 #include "core/backup_store.hpp"
 
+#include "obs/obs.hpp"
+
 namespace frame {
 
 void BackupStore::configure(std::size_t topic_count) {
@@ -13,6 +15,7 @@ void BackupStore::configure(std::size_t topic_count) {
 void BackupStore::insert(const Message& msg, TimePoint replica_arrival) {
   if (msg.topic >= rings_.size()) return;
   rings_[msg.topic].push_back(BackupEntry{msg, false, replica_arrival});
+  obs::hooks::backup_replica_stored(msg.topic, replica_arrival);
 }
 
 bool BackupStore::prune(TopicId topic, SeqNo seq) {
@@ -21,6 +24,7 @@ bool BackupStore::prune(TopicId topic, SeqNo seq) {
   for (std::size_t i = ring.size(); i-- > 0;) {
     if (ring.at(i).msg.seq == seq) {
       ring.at(i).discard = true;
+      obs::hooks::backup_prune_applied(topic);
       return true;
     }
   }

@@ -16,6 +16,7 @@ bool JobQueue::drop_if_cancelled() {
   cancelled_.erase(it);
   heap_.pop();
   ++cancelled_drops_;
+  obs::hooks::replication_cancelled_drop();
   return true;
 }
 
@@ -24,6 +25,7 @@ std::optional<Job> JobQueue::pop() {
     if (drop_if_cancelled()) continue;
     Job job = heap_.top().job;
     heap_.pop();
+    obs::hooks::job_queue_depth(heap_.size());
     return job;
   }
   return std::nullopt;

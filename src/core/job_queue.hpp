@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/job.hpp"
+#include "obs/obs.hpp"
 
 namespace frame {
 
@@ -33,7 +34,10 @@ class JobQueue {
 
   SchedulingPolicy policy() const { return policy_; }
 
-  void push(Job job) { heap_.push(HeapItem{policy_, std::move(job)}); }
+  void push(Job job) {
+    heap_.push(HeapItem{policy_, std::move(job)});
+    obs::hooks::job_queue_depth(heap_.size());
+  }
 
   /// Removes and returns the next runnable job, skipping replicate jobs
   /// whose message key has been cancelled.

@@ -1,6 +1,7 @@
 #include "net/tcp_bus.hpp"
 
 #include "common/log.hpp"
+#include "obs/obs.hpp"
 
 namespace frame {
 
@@ -108,7 +109,10 @@ void TcpBus::send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) {
     if (dst == endpoints_.end() || dst->second.crashed) return;
     conn = outgoing_locked(from, to);
   }
-  if (conn != nullptr) (void)conn->send_frame(wrap(from, frame));
+  if (conn != nullptr) {
+    obs::hooks::tcp_frame_sent(frame.size() + 4);
+    (void)conn->send_frame(wrap(from, frame));
+  }
 }
 
 void TcpBus::crash(NodeId node) {

@@ -1,0 +1,126 @@
+#include "obs/deadline_accountant.hpp"
+
+namespace frame::obs {
+
+DeadlineAccountant& DeadlineAccountant::instance() {
+  static DeadlineAccountant accountant;
+  return accountant;
+}
+
+void DeadlineAccountant::configure(const std::vector<TopicSpec>& specs) {
+  configure_lock_.lock();
+  for (const auto& spec : specs) {
+    while (slots_.size() <= spec.id) slots_.emplace_back();
+    slots_[spec.id].loss_tolerance = spec.loss_tolerance;
+    slots_[spec.id].deadline = spec.deadline;
+  }
+  count_.store(slots_.size(), std::memory_order_release);
+  configure_lock_.unlock();
+}
+
+DeadlineAccountant::TopicSlot* DeadlineAccountant::slot(TopicId topic) {
+  if (topic >= count_.load(std::memory_order_acquire)) return nullptr;
+  return &slots_[topic];
+}
+
+const DeadlineAccountant::TopicSlot* DeadlineAccountant::slot(
+    TopicId topic) const {
+  if (topic >= count_.load(std::memory_order_acquire)) return nullptr;
+  return &slots_[topic];
+}
+
+void DeadlineAccountant::on_dispatch_executed(TopicId topic, Duration slack) {
+  TopicSlot* s = slot(topic);
+  if (s == nullptr) return;
+  s->dispatches.fetch_add(1, std::memory_order_relaxed);
+  if (slack < 0) s->dispatch_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DeadlineAccountant::on_replication_executed(TopicId topic,
+                                                 Duration slack) {
+  TopicSlot* s = slot(topic);
+  if (s == nullptr) return;
+  s->replications.fetch_add(1, std::memory_order_relaxed);
+  if (slack < 0) s->replication_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DeadlineAccountant::on_delivery(TopicId topic, SeqNo seq, Duration e2e) {
+  TopicSlot* s = slot(topic);
+  if (s == nullptr) return;
+  s->deliveries.fetch_add(1, std::memory_order_relaxed);
+  if (e2e > s->deadline) s->e2e_misses.fetch_add(1, std::memory_order_relaxed);
+  s->e2e_latency.record(static_cast<double>(e2e));
+
+  // Consecutive-loss streaks: deliveries of a topic arrive in order except
+  // around recovery, so a gap versus the furthest seq seen so far is a run
+  // of losses.  A later out-of-order fill-in (recovery copy) is not
+  // subtracted back -- the accountant deliberately reports the worst
+  // streak ever *observed*, which is the quantity Li bounds.
+  std::uint64_t prev = s->last_seq.load(std::memory_order_relaxed);
+  while (seq > prev && !s->last_seq.compare_exchange_weak(
+                           prev, seq, std::memory_order_relaxed)) {
+  }
+  if (seq > prev + 1) {
+    const std::uint64_t streak = seq - prev - 1;
+    s->losses_total.fetch_add(streak, std::memory_order_relaxed);
+    std::uint64_t cur = s->max_loss_streak.load(std::memory_order_relaxed);
+    while (streak > cur && !s->max_loss_streak.compare_exchange_weak(
+                               cur, streak, std::memory_order_relaxed)) {
+    }
+    if (s->loss_tolerance != kLossInfinite && streak > s->loss_tolerance) {
+      s->loss_budget_exceeded.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+TopicDeadlineSnapshot DeadlineAccountant::snapshot(TopicId topic) const {
+  TopicDeadlineSnapshot snap;
+  const TopicSlot* s = slot(topic);
+  if (s == nullptr) return snap;
+  snap.topic = topic;
+  snap.loss_tolerance = s->loss_tolerance;
+  snap.deadline = s->deadline;
+  snap.dispatches = s->dispatches.load(std::memory_order_relaxed);
+  snap.dispatch_misses = s->dispatch_misses.load(std::memory_order_relaxed);
+  snap.replications = s->replications.load(std::memory_order_relaxed);
+  snap.replication_misses =
+      s->replication_misses.load(std::memory_order_relaxed);
+  snap.deliveries = s->deliveries.load(std::memory_order_relaxed);
+  snap.e2e_misses = s->e2e_misses.load(std::memory_order_relaxed);
+  snap.losses_total = s->losses_total.load(std::memory_order_relaxed);
+  snap.max_loss_streak = s->max_loss_streak.load(std::memory_order_relaxed);
+  snap.loss_budget_exceeded =
+      s->loss_budget_exceeded.load(std::memory_order_relaxed);
+  snap.e2e_latency = s->e2e_latency.snapshot();
+  return snap;
+}
+
+std::vector<TopicDeadlineSnapshot> DeadlineAccountant::snapshot_all() const {
+  std::vector<TopicDeadlineSnapshot> out;
+  const std::size_t n = topic_count();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(snapshot(static_cast<TopicId>(i)));
+  }
+  return out;
+}
+
+void DeadlineAccountant::reset() {
+  configure_lock_.lock();
+  for (auto& s : slots_) {
+    s.dispatches.store(0, std::memory_order_relaxed);
+    s.dispatch_misses.store(0, std::memory_order_relaxed);
+    s.replications.store(0, std::memory_order_relaxed);
+    s.replication_misses.store(0, std::memory_order_relaxed);
+    s.deliveries.store(0, std::memory_order_relaxed);
+    s.e2e_misses.store(0, std::memory_order_relaxed);
+    s.losses_total.store(0, std::memory_order_relaxed);
+    s.max_loss_streak.store(0, std::memory_order_relaxed);
+    s.last_seq.store(0, std::memory_order_relaxed);
+    s.loss_budget_exceeded.store(false, std::memory_order_relaxed);
+    s.e2e_latency.reset();
+  }
+  configure_lock_.unlock();
+}
+
+}  // namespace frame::obs

@@ -1,0 +1,103 @@
+// Deadline-slack accounting against the paper's Lemmas 1 and 2.
+//
+// Every dispatch/replicate execution reports its remaining slack
+// (absolute job deadline minus the execution timestamp); the accountant
+// tallies per-topic misses.  Every unique delivery reports the end-to-end
+// latency against Di and its sequence number, from which the accountant
+// derives consecutive-loss streaks and checks them against the topic's
+// loss tolerance Li.  All hooks are thread-safe: counters are relaxed
+// atomics, the per-topic latency recorder is spinlock-guarded.
+//
+// Mapping to the paper's symbols (Section III):
+//   dispatch slack    = (tp + Dd) - now,  Dd = Di - ΔPB - ΔBS   (Lemma 2)
+//   replication slack = (tp + Dr) - now,  Dr = (Ni+Li)·Ti - ΔPB - ΔBB - x
+//                                                                 (Lemma 1)
+//   loss streak       = longest run of sequence numbers never delivered,
+//                       compared against Li.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "core/topic.hpp"
+#include "obs/metrics.hpp"
+
+namespace frame::obs {
+
+/// Value snapshot of one topic's account.
+struct TopicDeadlineSnapshot {
+  TopicId topic = kInvalidTopic;
+  std::uint32_t loss_tolerance = 0;  ///< Li (kLossInfinite = best effort)
+  Duration deadline = 0;             ///< Di
+
+  std::uint64_t dispatches = 0;
+  std::uint64_t dispatch_misses = 0;  ///< Lemma 2 violations
+  std::uint64_t replications = 0;
+  std::uint64_t replication_misses = 0;  ///< Lemma 1 violations
+  std::uint64_t deliveries = 0;
+  std::uint64_t e2e_misses = 0;  ///< end-to-end latency > Di
+
+  std::uint64_t losses_total = 0;
+  std::uint64_t max_loss_streak = 0;
+  /// max_loss_streak exceeded Li at some delivery.
+  bool loss_budget_exceeded = false;
+
+  LatencyRecorder::Snapshot e2e_latency;  ///< ns, unique deliveries
+};
+
+class DeadlineAccountant {
+ public:
+  static DeadlineAccountant& instance();
+
+  /// Installs the topic table (dense ids).  Growing is supported; calling
+  /// again with the same topics is a no-op for accumulated counts.
+  void configure(const std::vector<TopicSpec>& specs);
+
+  std::size_t topic_count() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// A dispatch job executed with `slack` = absolute deadline - now.
+  void on_dispatch_executed(TopicId topic, Duration slack);
+  /// A replicate job executed with `slack` = absolute deadline - now.
+  void on_replication_executed(TopicId topic, Duration slack);
+  /// A unique (first-copy) delivery of (topic, seq) with end-to-end
+  /// latency `e2e` ns.
+  void on_delivery(TopicId topic, SeqNo seq, Duration e2e);
+
+  TopicDeadlineSnapshot snapshot(TopicId topic) const;
+  std::vector<TopicDeadlineSnapshot> snapshot_all() const;
+
+  /// Zeroes all accounts; keeps the configured topic table.
+  void reset();
+
+ private:
+  struct TopicSlot {
+    std::uint32_t loss_tolerance = 0;
+    Duration deadline = 0;
+    std::atomic<std::uint64_t> dispatches{0};
+    std::atomic<std::uint64_t> dispatch_misses{0};
+    std::atomic<std::uint64_t> replications{0};
+    std::atomic<std::uint64_t> replication_misses{0};
+    std::atomic<std::uint64_t> deliveries{0};
+    std::atomic<std::uint64_t> e2e_misses{0};
+    std::atomic<std::uint64_t> losses_total{0};
+    std::atomic<std::uint64_t> max_loss_streak{0};
+    std::atomic<std::uint64_t> last_seq{0};
+    std::atomic<bool> loss_budget_exceeded{false};
+    LatencyRecorder e2e_latency;
+  };
+
+  TopicSlot* slot(TopicId topic);
+  const TopicSlot* slot(TopicId topic) const;
+
+  mutable SpinLock configure_lock_;
+  std::deque<TopicSlot> slots_;  ///< deque: grow without moving atomics
+  std::atomic<std::size_t> count_{0};
+};
+
+}  // namespace frame::obs

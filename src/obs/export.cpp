@@ -1,0 +1,230 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "common/time.hpp"
+#include "core/topic.hpp"
+#include "obs/obs.hpp"
+
+namespace frame::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n), sizeof(buf) - 1));
+}
+
+void append_latency_json(std::string& out, const LatencyRecorder::Snapshot& l) {
+  appendf(out,
+          "{\"count\":%zu,\"mean_ns\":%.1f,\"min_ns\":%.1f,\"max_ns\":%.1f,"
+          "\"p50_ns\":%.1f,\"p90_ns\":%.1f,\"p99_ns\":%.1f}",
+          l.count(), l.mean(), l.min(), l.max(), l.p50(), l.p90(), l.p99());
+}
+
+/// ms with enough digits for sub-ms values.
+double ms(double ns) { return ns / 1e6; }
+
+}  // namespace
+
+ObsSnapshot collect_snapshot(std::size_t max_spans) {
+  ObsSnapshot snap;
+  snap.metrics = registry().snapshot();
+  snap.topics = accountant().snapshot_all();
+  snap.spans_recorded = tracer().recorded();
+  snap.span_drops = tracer().contention_drops();
+  if (max_spans > 0) {
+    snap.recent_spans = tracer().snapshot();
+    if (snap.recent_spans.size() > max_spans) {
+      snap.recent_spans.erase(
+          snap.recent_spans.begin(),
+          snap.recent_spans.end() - static_cast<std::ptrdiff_t>(max_spans));
+    }
+  }
+  return snap;
+}
+
+std::string to_json(const ObsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.metrics.counters) {
+    appendf(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",", name.c_str(),
+            value);
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.metrics.gauges) {
+    appendf(out, "%s\n    \"%s\": %" PRId64, first ? "" : ",", name.c_str(),
+            value);
+    first = false;
+  }
+  out += "\n  },\n  \"latencies\": {";
+  first = true;
+  for (const auto& [name, latency] : snap.metrics.latencies) {
+    appendf(out, "%s\n    \"%s\": ", first ? "" : ",", name.c_str());
+    append_latency_json(out, latency);
+    first = false;
+  }
+  out += "\n  },\n  \"topics\": [";
+  first = true;
+  for (const auto& t : snap.topics) {
+    if (t.topic == kInvalidTopic) continue;
+    appendf(out,
+            "%s\n    {\"topic\":%u,\"li\":%s,\"di_ms\":%.3f,"
+            "\"dispatches\":%" PRIu64 ",\"dispatch_misses\":%" PRIu64
+            ",\"replications\":%" PRIu64 ",\"replication_misses\":%" PRIu64
+            ",\"deliveries\":%" PRIu64 ",\"e2e_misses\":%" PRIu64
+            ",\"losses_total\":%" PRIu64 ",\"max_loss_streak\":%" PRIu64
+            ",\"loss_budget_exceeded\":%s,\"e2e\":",
+            first ? "" : ",", t.topic,
+            t.loss_tolerance == kLossInfinite
+                ? "\"inf\""
+                : std::to_string(t.loss_tolerance).c_str(),
+            to_millis(t.deadline), t.dispatches, t.dispatch_misses,
+            t.replications, t.replication_misses, t.deliveries, t.e2e_misses,
+            t.losses_total, t.max_loss_streak,
+            t.loss_budget_exceeded ? "true" : "false");
+    append_latency_json(out, t.e2e_latency);
+    out += "}";
+    first = false;
+  }
+  appendf(out,
+          "\n  ],\n  \"tracer\": {\"recorded\": %" PRIu64
+          ", \"contention_drops\": %" PRIu64 "}\n}\n",
+          snap.spans_recorded, snap.span_drops);
+  return out;
+}
+
+std::string to_prometheus(const ObsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snap.metrics.counters) {
+    appendf(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(),
+            name.c_str(), value);
+  }
+  for (const auto& [name, value] : snap.metrics.gauges) {
+    appendf(out, "# TYPE %s gauge\n%s %" PRId64 "\n", name.c_str(),
+            name.c_str(), value);
+  }
+  for (const auto& [name, latency] : snap.metrics.latencies) {
+    appendf(out, "# TYPE %s summary\n", name.c_str());
+    appendf(out, "%s{quantile=\"0.5\"} %.1f\n", name.c_str(), latency.p50());
+    appendf(out, "%s{quantile=\"0.9\"} %.1f\n", name.c_str(), latency.p90());
+    appendf(out, "%s{quantile=\"0.99\"} %.1f\n", name.c_str(), latency.p99());
+    appendf(out, "%s_sum %.1f\n", name.c_str(),
+            latency.mean() * static_cast<double>(latency.count()));
+    appendf(out, "%s_count %zu\n", name.c_str(), latency.count());
+  }
+  // Per-topic series from the deadline accountant.
+  for (const auto& t : snap.topics) {
+    if (t.topic == kInvalidTopic || t.deliveries + t.dispatches == 0) continue;
+    appendf(out, "frame_topic_dispatch_misses_total{topic=\"%u\"} %" PRIu64 "\n",
+            t.topic, t.dispatch_misses);
+    appendf(out,
+            "frame_topic_replication_misses_total{topic=\"%u\"} %" PRIu64 "\n",
+            t.topic, t.replication_misses);
+    appendf(out, "frame_topic_e2e_misses_total{topic=\"%u\"} %" PRIu64 "\n",
+            t.topic, t.e2e_misses);
+    appendf(out, "frame_topic_max_loss_streak{topic=\"%u\"} %" PRIu64 "\n",
+            t.topic, t.max_loss_streak);
+    appendf(out, "frame_topic_e2e_latency_ns{topic=\"%u\",quantile=\"0.5\"} %.1f\n",
+            t.topic, t.e2e_latency.p50());
+    appendf(out, "frame_topic_e2e_latency_ns{topic=\"%u\",quantile=\"0.99\"} %.1f\n",
+            t.topic, t.e2e_latency.p99());
+  }
+  return out;
+}
+
+std::string to_table(const ObsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+
+  out += "== per-topic deadline & latency accounting ==\n";
+  appendf(out, "%-6s %-6s %-9s %9s %9s %9s %9s %9s %9s %7s %6s\n", "topic",
+          "Li", "Di(ms)", "deliv", "p50(ms)", "p99(ms)", "e2e-miss", "dd-miss",
+          "dr-miss", "streak", "ok?");
+  for (const auto& t : snap.topics) {
+    if (t.topic == kInvalidTopic ||
+        t.deliveries + t.dispatches + t.replications == 0) {
+      continue;
+    }
+    char li[16];
+    if (t.loss_tolerance == kLossInfinite) {
+      std::snprintf(li, sizeof(li), "inf");
+    } else {
+      std::snprintf(li, sizeof(li), "%u", t.loss_tolerance);
+    }
+    appendf(out,
+            "%-6u %-6s %-9.1f %9" PRIu64 " %9.3f %9.3f %9" PRIu64 " %9" PRIu64
+            " %9" PRIu64 " %7" PRIu64 " %6s\n",
+            t.topic, li, to_millis(t.deadline), t.deliveries,
+            ms(t.e2e_latency.p50()), ms(t.e2e_latency.p99()), t.e2e_misses,
+            t.dispatch_misses, t.replication_misses, t.max_loss_streak,
+            t.loss_budget_exceeded ? "MISS" : "ok");
+  }
+
+  // Failover timeline from the gauges, when a crash was recorded.
+  std::int64_t crash_at = 0, detected_at = 0, promoted_at = 0, redirect_at = 0;
+  for (const auto& [name, value] : snap.metrics.gauges) {
+    if (name == "frame_failover_crash_at_ns") crash_at = value;
+    if (name == "frame_failover_detected_at_ns") detected_at = value;
+    if (name == "frame_failover_promotion_at_ns") promoted_at = value;
+    if (name == "frame_failover_redirect_at_ns") redirect_at = value;
+  }
+  if (crash_at > 0) {
+    out += "\n== failover timeline ==\n";
+    appendf(out, "crash injected        t=%.3f ms\n", ms(double(crash_at)));
+    if (detected_at > crash_at) {
+      appendf(out, "failure detected      t=%.3f ms  (+%.3f ms)\n",
+              ms(double(detected_at)), ms(double(detected_at - crash_at)));
+    }
+    if (promoted_at > crash_at) {
+      appendf(out, "backup promoted       t=%.3f ms  (+%.3f ms)\n",
+              ms(double(promoted_at)), ms(double(promoted_at - crash_at)));
+    }
+    if (redirect_at > crash_at) {
+      appendf(out,
+              "publishers redirected t=%.3f ms  (+%.3f ms)  <- measured x\n",
+              ms(double(redirect_at)), ms(double(redirect_at - crash_at)));
+    }
+  }
+
+  out += "\n== counters ==\n";
+  for (const auto& [name, value] : snap.metrics.counters) {
+    appendf(out, "%-40s %12" PRIu64 "\n", name.c_str(), value);
+  }
+  out += "\n== gauges ==\n";
+  for (const auto& [name, value] : snap.metrics.gauges) {
+    appendf(out, "%-40s %12" PRId64 "\n", name.c_str(), value);
+  }
+  out += "\n== latency distributions (ms) ==\n";
+  appendf(out, "%-32s %9s %9s %9s %9s %9s %9s\n", "name", "count", "mean",
+          "p50", "p90", "p99", "max");
+  for (const auto& [name, l] : snap.metrics.latencies) {
+    if (l.count() == 0) continue;
+    appendf(out, "%-32s %9zu %9.3f %9.3f %9.3f %9.3f %9.3f\n", name.c_str(),
+            l.count(), ms(l.mean()), ms(l.p50()), ms(l.p90()), ms(l.p99()),
+            ms(l.max()));
+  }
+  appendf(out,
+          "\nspans recorded %" PRIu64 " (contention drops %" PRIu64
+          ", ring capacity %zu)\n",
+          snap.spans_recorded, snap.span_drops, tracer().capacity());
+  return out;
+}
+
+}  // namespace frame::obs

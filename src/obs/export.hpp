@@ -1,0 +1,39 @@
+// Snapshot collection and exporters: JSON, Prometheus text exposition, and
+// a human-readable table.  Exporting is an explicitly cold path: it copies
+// every instrument once (best effort, without stopping writers) and
+// formats from the copies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/deadline_accountant.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace frame::obs {
+
+/// One coherent-enough view of the whole observability state.
+struct ObsSnapshot {
+  MetricsRegistry::Snapshot metrics;
+  std::vector<TopicDeadlineSnapshot> topics;
+  std::vector<SpanEvent> recent_spans;
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t span_drops = 0;
+};
+
+/// Copies the global registry, accountant, and tracer.
+/// `max_spans` bounds the spans included (0 = none, keeps snapshots small).
+ObsSnapshot collect_snapshot(std::size_t max_spans = 64);
+
+/// Machine-readable JSON object (latencies in nanoseconds).
+std::string to_json(const ObsSnapshot& snap);
+
+/// Prometheus text exposition format (counters/gauges/summaries).
+std::string to_prometheus(const ObsSnapshot& snap);
+
+/// Human-readable dashboard: per-topic latency/deadline table, failover
+/// timeline, and the named instruments.
+std::string to_table(const ObsSnapshot& snap);
+
+}  // namespace frame::obs

@@ -1,0 +1,191 @@
+// Out-of-line bodies of the instrumentation hooks.  Only reached with
+// observability enabled.  Named instruments are resolved once per process
+// via static-local references; after that each body touches only its own
+// atomics (plus the tracer ring / accountant slots).
+#include "obs/obs.hpp"
+
+namespace frame::obs {
+
+MetricsRegistry& registry() { return MetricsRegistry::instance(); }
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+void reset_all() {
+  registry().reset();
+  tracer().clear();
+  accountant().reset();
+}
+
+namespace detail {
+
+namespace {
+
+void span(SpanKind kind, TopicId topic, SeqNo seq, NodeId node, TimePoint at,
+          Duration delta_pb = kDurationInfinite,
+          Duration dd_slack = kDurationInfinite,
+          Duration dr_slack = kDurationInfinite) {
+  SpanEvent ev;
+  ev.kind = kind;
+  ev.topic = topic;
+  ev.seq = seq;
+  ev.node = node;
+  ev.at = at;
+  ev.delta_pb = delta_pb;
+  ev.dd_slack = dd_slack;
+  ev.dr_slack = dr_slack;
+  tracer().record(ev);
+}
+
+}  // namespace
+
+void publish_slow(TopicId topic, SeqNo seq, TimePoint now) {
+  static Counter& created = registry().counter("frame_publisher_created_total");
+  created.add();
+  span(SpanKind::kPublish, topic, seq, kInvalidNode, now);
+}
+
+void proxy_admit_slow(TopicId topic, SeqNo seq, TimePoint now,
+                      Duration delta_pb, bool recovery) {
+  static Counter& admits = registry().counter("frame_proxy_admits_total");
+  static Counter& recoveries =
+      registry().counter("frame_proxy_recovery_admits_total");
+  static LatencyRecorder& pb = registry().latency("frame_delta_pb_ns");
+  admits.add();
+  if (recovery) recoveries.add();
+  if (delta_pb >= 0) pb.record(static_cast<double>(delta_pb));
+  span(SpanKind::kProxyAdmit, topic, seq, kInvalidNode, now, delta_pb);
+}
+
+void job_enqueue_slow(TopicId topic, SeqNo seq, TimePoint now, bool replicate,
+                      Duration dd_slack, Duration dr_slack) {
+  static Counter& dispatch_jobs =
+      registry().counter("frame_dispatch_jobs_total");
+  static Counter& replicate_jobs =
+      registry().counter("frame_replicate_jobs_total");
+  (replicate ? replicate_jobs : dispatch_jobs).add();
+  span(SpanKind::kJobEnqueue, topic, seq, kInvalidNode, now,
+       kDurationInfinite, dd_slack, dr_slack);
+}
+
+void dispatch_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
+                            Duration slack) {
+  static Counter& dispatches = registry().counter("frame_dispatches_total");
+  dispatches.add();
+  if (slack != kDurationInfinite) {
+    accountant().on_dispatch_executed(topic, slack);
+  }
+  span(SpanKind::kDispatchStart, topic, seq, kInvalidNode, now,
+       kDurationInfinite, slack);
+}
+
+void replicate_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
+                             Duration slack) {
+  static Counter& replications = registry().counter("frame_replications_total");
+  replications.add();
+  if (slack != kDurationInfinite) {
+    accountant().on_replication_executed(topic, slack);
+  }
+  span(SpanKind::kReplicated, topic, seq, kInvalidNode, now,
+       kDurationInfinite, kDurationInfinite, slack);
+}
+
+void copy_dropped_slow(TopicId topic, SeqNo seq, TimePoint now) {
+  static Counter& drops = registry().counter("frame_copies_dropped_total");
+  drops.add();
+  span(SpanKind::kDropped, topic, seq, kInvalidNode, now);
+}
+
+void delivered_slow(TopicId topic, SeqNo seq, TimePoint now, Duration e2e) {
+  static Counter& deliveries = registry().counter("frame_deliveries_total");
+  static LatencyRecorder& latency = registry().latency("frame_e2e_latency_ns");
+  deliveries.add();
+  latency.record(static_cast<double>(e2e));
+  accountant().on_delivery(topic, seq, e2e);
+  span(SpanKind::kDelivered, topic, seq, kInvalidNode, now, kDurationInfinite,
+       e2e);
+}
+
+void job_queue_depth_slow(std::size_t depth) {
+  static Gauge& gauge = registry().gauge("frame_job_queue_depth");
+  static Gauge& peak = registry().gauge("frame_job_queue_depth_peak");
+  gauge.set(static_cast<std::int64_t>(depth));
+  peak.set_max(static_cast<std::int64_t>(depth));
+}
+
+void replication_cancelled_drop_slow() {
+  static Counter& drops =
+      registry().counter("frame_replications_cancelled_total");
+  drops.add();
+}
+
+void backup_replica_stored_slow(TopicId topic, TimePoint now) {
+  static Counter& replicas = registry().counter("frame_backup_replicas_total");
+  replicas.add();
+  (void)topic;
+  (void)now;
+}
+
+void backup_prune_applied_slow(TopicId topic) {
+  static Counter& prunes = registry().counter("frame_backup_prunes_total");
+  prunes.add();
+  (void)topic;
+}
+
+void tcp_frame_sent_slow(std::size_t bytes) {
+  static Counter& frames = registry().counter("frame_tcp_frames_sent_total");
+  static Counter& sent_bytes = registry().counter("frame_tcp_bytes_sent_total");
+  frames.add();
+  sent_bytes.add(bytes);
+}
+
+void crash_injected_slow(NodeId node, TimePoint now) {
+  static Gauge& at = registry().gauge("frame_failover_crash_at_ns");
+  at.set(now);
+  span(SpanKind::kCrash, kInvalidTopic, 0, node, now);
+}
+
+void failover_detected_slow(NodeId node, TimePoint now) {
+  static Gauge& at = registry().gauge("frame_failover_detected_at_ns");
+  at.set_max(now);
+  span(SpanKind::kFailoverDetected, kInvalidTopic, 0, node, now);
+}
+
+void promotion_complete_slow(NodeId node, TimePoint now,
+                             std::size_t recovered) {
+  static Gauge& at = registry().gauge("frame_failover_promotion_at_ns");
+  static Counter& copies = registry().counter("frame_recovery_copies_total");
+  at.set_max(now);
+  copies.add(recovered);
+  span(SpanKind::kPromotion, kInvalidTopic, 0, node, now);
+}
+
+void publisher_redirected_slow(NodeId node, TimePoint now) {
+  static Gauge& at = registry().gauge("frame_failover_redirect_at_ns");
+  static Gauge& crash_at = registry().gauge("frame_failover_crash_at_ns");
+  static LatencyRecorder& x = registry().latency("frame_failover_x_ns");
+  at.set_max(now);
+  // The paper's x: crash .. publisher redirect, per publisher.
+  const std::int64_t crashed_at = crash_at.value();
+  if (crashed_at > 0 && now > crashed_at) {
+    x.record(static_cast<double>(now - crashed_at));
+  }
+  span(SpanKind::kFailoverDetected, kInvalidTopic, 0, node, now);
+}
+
+void retention_replay_slow(NodeId node, TimePoint now,
+                           Duration replay_duration, std::size_t resent) {
+  static Counter& resends = registry().counter("frame_retention_resent_total");
+  static LatencyRecorder& replay =
+      registry().latency("frame_failover_replay_ns");
+  resends.add(resent);
+  if (replay_duration >= 0) {
+    replay.record(static_cast<double>(replay_duration));
+  }
+  span(SpanKind::kRetentionReplay, kInvalidTopic, 0, node, now);
+}
+
+}  // namespace detail
+}  // namespace frame::obs

@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frame::obs {
+
+double LatencyRecorder::Snapshot::quantile(double q) const {
+  if (stats.count() == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t total = hist.total();
+  if (total == 0) return stats.mean();
+  // Rank of the target sample, then walk the cumulative bin counts.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+    const std::uint64_t c = hist.bin(i);
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= rank) {
+      // Interpolate inside the log-domain bin, then exponentiate.
+      const double width =
+          (kLogHi - kLogLo) / static_cast<double>(hist.bin_count());
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(c);
+      const double log_value = hist.bin_low(i) + width * frac;
+      const double value = std::pow(10.0, log_value);
+      return std::clamp(value, stats.min(), stats.max());
+    }
+    seen += c;
+  }
+  return stats.max();
+}
+
+void LatencyRecorder::record(double ns) {
+  const double log_ns = std::log10(std::max(ns, 1.0));
+  lock_.lock();
+  stats_.add(ns);
+  hist_.add(log_ns);
+  lock_.unlock();
+}
+
+LatencyRecorder::Snapshot LatencyRecorder::snapshot() const {
+  Snapshot snap;
+  lock_.lock();
+  snap.stats = stats_;
+  snap.hist = hist_;
+  lock_.unlock();
+  return snap;
+}
+
+void LatencyRecorder::reset() {
+  lock_.lock();
+  stats_ = OnlineStats{};
+  hist_ = Histogram{kLogLo, kLogHi, kBins};
+  lock_.unlock();
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+template <typename T>
+T& MetricsRegistry::find_or_add(std::deque<Named<T>>& store,
+                                std::string_view name) {
+  for (auto& entry : store) {
+    if (entry.name == name) return entry.instrument;
+  }
+  store.emplace_back();  // in-place: instruments hold atomics, never move
+  store.back().name = std::string(name);
+  return store.back().instrument;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  return find_or_add(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  return find_or_add(gauges_, name);
+}
+
+LatencyRecorder& MetricsRegistry::latency(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  return find_or_add(latencies_, name);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& entry : counters_) {
+      snap.counters.emplace_back(entry.name, entry.instrument.value());
+    }
+    for (const auto& entry : gauges_) {
+      snap.gauges.emplace_back(entry.name, entry.instrument.value());
+    }
+    for (const auto& entry : latencies_) {
+      snap.latencies.emplace_back(entry.name, entry.instrument.snapshot());
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.latencies.begin(), snap.latencies.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : counters_) entry.instrument.reset();
+  for (auto& entry : gauges_) entry.instrument.reset();
+  for (auto& entry : latencies_) entry.instrument.reset();
+}
+
+}  // namespace frame::obs

@@ -1,0 +1,153 @@
+// Process-wide metrics registry (observability substrate).
+//
+// Hot-path instruments are lock-cheap: Counter/Gauge are single relaxed
+// atomics; LatencyRecorder guards the existing OnlineStats/Histogram pair
+// with a spinlock whose critical section is a handful of arithmetic ops
+// (no allocation, no syscalls).  Name->instrument resolution is mutex
+// guarded and intended to happen once per call site (static-local refs in
+// the hooks); after that a hook touches only its own instrument.
+//
+// Latency histograms bin log10(nanoseconds) into a fixed-width Histogram,
+// which gives constant relative resolution (~12% per bin at 20 bins per
+// decade) across the microsecond..tens-of-seconds range the deployment
+// spans; quantiles interpolate inside the log-domain bin and clamp to the
+// exact observed min/max tracked by OnlineStats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace frame::obs {
+
+/// Monotonic event count.  add() is a single relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, timestamps).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// set(v) only if v is greater than the current value.
+  void set_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Tiny test-and-set lock for sub-microsecond critical sections.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Latency distribution in nanoseconds: exact moments via OnlineStats plus
+/// a log10-binned Histogram for quantile estimation.
+class LatencyRecorder {
+ public:
+  /// Log-domain bin layout: [10^2, 10^10) ns (100 ns .. 10 s), 20 bins
+  /// per decade.
+  static constexpr double kLogLo = 2.0;
+  static constexpr double kLogHi = 10.0;
+  static constexpr std::size_t kBins = 160;
+
+  struct Snapshot {
+    OnlineStats stats;
+    Histogram hist{kLogLo, kLogHi, kBins};
+
+    std::size_t count() const { return stats.count(); }
+    double mean() const { return stats.mean(); }
+    double min() const { return stats.min(); }
+    double max() const { return stats.max(); }
+    /// Approximate quantile (ns); q in [0,1], clamped.
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
+  };
+
+  void record(double ns);
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable SpinLock lock_;
+  OnlineStats stats_;
+  Histogram hist_{kLogLo, kLogHi, kBins};
+};
+
+/// Process-wide named-instrument registry.  Instrument references remain
+/// valid for the process lifetime (storage is a deque; entries are never
+/// erased, reset() only zeroes them).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyRecorder& latency(std::string_view name);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, LatencyRecorder::Snapshot>> latencies;
+  };
+  /// Name-sorted copy of every instrument's current value.
+  Snapshot snapshot() const;
+
+  /// Zeroes every instrument (names and references stay valid).
+  void reset();
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    T instrument;
+  };
+
+  template <typename T>
+  static T& find_or_add(std::deque<Named<T>>& store, std::string_view name);
+
+  mutable std::mutex mutex_;
+  std::deque<Named<Counter>> counters_;
+  std::deque<Named<Gauge>> gauges_;
+  std::deque<Named<LatencyRecorder>> latencies_;
+};
+
+}  // namespace frame::obs

@@ -1,0 +1,193 @@
+// Observability facade: the global on/off switch, the process-wide
+// singletons (MetricsRegistry / Tracer / DeadlineAccountant), and the
+// instrumentation hooks the engines call.
+//
+// Cost contract: with observability disabled (the default), every hook is
+// one relaxed atomic load plus a predictable branch -- verified by
+// BM_EnginePublishDispatch vs BM_EnginePublishDispatchObs in bench_micro.
+// With FRAME_OBS=OFF at configure time the hooks compile away entirely.
+// Hook bodies resolve their named instruments once via static-local
+// references; afterwards a hook touches only its own atomics.
+#pragma once
+
+#include <atomic>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "obs/deadline_accountant.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace frame::obs {
+
+#ifdef FRAME_OBS_DISABLED
+inline constexpr bool kCompiled = false;
+#else
+inline constexpr bool kCompiled = true;
+#endif
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// The branch every hook takes first: one relaxed load.
+inline bool enabled() {
+  if constexpr (!kCompiled) {
+    return false;
+  } else {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+  }
+}
+
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// RAII scope for tests/benches that toggle observability.
+class EnabledScope {
+ public:
+  explicit EnabledScope(bool on) : previous_(enabled()) { set_enabled(on); }
+  ~EnabledScope() { set_enabled(previous_); }
+  EnabledScope(const EnabledScope&) = delete;
+  EnabledScope& operator=(const EnabledScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+MetricsRegistry& registry();
+Tracer& tracer();
+inline DeadlineAccountant& accountant() {
+  return DeadlineAccountant::instance();
+}
+
+/// Zeroes every instrument, the tracer ring and the accountant (topic
+/// table is kept).  For scoping a measurement run.
+void reset_all();
+
+// ---------------------------------------------------------------------------
+// Instrumentation hooks.  Each public hook is an inline wrapper whose
+// disabled path is exactly the enabled() load + branch; the enabled path
+// tail-calls the out-of-line recording body in hooks.cpp.
+// ---------------------------------------------------------------------------
+namespace detail {
+void publish_slow(TopicId topic, SeqNo seq, TimePoint now);
+void proxy_admit_slow(TopicId topic, SeqNo seq, TimePoint now,
+                      Duration delta_pb, bool recovery);
+void job_enqueue_slow(TopicId topic, SeqNo seq, TimePoint now, bool replicate,
+                      Duration dd_slack, Duration dr_slack);
+void dispatch_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
+                            Duration slack);
+void replicate_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
+                             Duration slack);
+void copy_dropped_slow(TopicId topic, SeqNo seq, TimePoint now);
+void delivered_slow(TopicId topic, SeqNo seq, TimePoint now, Duration e2e);
+void job_queue_depth_slow(std::size_t depth);
+void replication_cancelled_drop_slow();
+void backup_replica_stored_slow(TopicId topic, TimePoint now);
+void backup_prune_applied_slow(TopicId topic);
+void tcp_frame_sent_slow(std::size_t bytes);
+void crash_injected_slow(NodeId node, TimePoint now);
+void failover_detected_slow(NodeId node, TimePoint now);
+void promotion_complete_slow(NodeId node, TimePoint now,
+                             std::size_t recovered);
+void publisher_redirected_slow(NodeId node, TimePoint now);
+void retention_replay_slow(NodeId node, TimePoint now,
+                           Duration replay_duration, std::size_t resent);
+}  // namespace detail
+
+namespace hooks {
+
+/// Publisher proxy created a message (tc stamp).
+inline void publish(TopicId topic, SeqNo seq, TimePoint now) {
+  if (enabled()) detail::publish_slow(topic, seq, now);
+}
+
+/// Message Proxy admitted an arrival; `delta_pb` = tp - tc.
+inline void proxy_admit(TopicId topic, SeqNo seq, TimePoint now,
+                        Duration delta_pb, bool recovery) {
+  if (enabled()) detail::proxy_admit_slow(topic, seq, now, delta_pb, recovery);
+}
+
+/// Job Generator enqueued a job; slacks are the remaining relative
+/// deadlines (Dd/Dr after subtracting the observed ΔPB).
+inline void job_enqueue(TopicId topic, SeqNo seq, TimePoint now,
+                        bool replicate, Duration dd_slack, Duration dr_slack) {
+  if (enabled()) {
+    detail::job_enqueue_slow(topic, seq, now, replicate, dd_slack, dr_slack);
+  }
+}
+
+/// A Dispatcher executed the dispatch job with `slack` remaining until the
+/// absolute Lemma-2 deadline (kDurationInfinite = execution time unknown).
+inline void dispatch_executed(TopicId topic, SeqNo seq, TimePoint now,
+                              Duration slack) {
+  if (enabled()) detail::dispatch_executed_slow(topic, seq, now, slack);
+}
+
+/// A Replicator shipped the copy with `slack` remaining until the absolute
+/// Lemma-1 deadline.
+inline void replicate_executed(TopicId topic, SeqNo seq, TimePoint now,
+                               Duration slack) {
+  if (enabled()) detail::replicate_executed_slow(topic, seq, now, slack);
+}
+
+/// A job referenced a copy no longer in the buffer, or an undelivered copy
+/// was overwritten.
+inline void copy_dropped(TopicId topic, SeqNo seq, TimePoint now) {
+  if (enabled()) detail::copy_dropped_slow(topic, seq, now);
+}
+
+/// Subscriber got the first copy of (topic, seq); `e2e` = ts - tc.
+inline void delivered(TopicId topic, SeqNo seq, TimePoint now, Duration e2e) {
+  if (enabled()) detail::delivered_slow(topic, seq, now, e2e);
+}
+
+/// Job queue state after a push/pop.
+inline void job_queue_depth(std::size_t depth) {
+  if (enabled()) detail::job_queue_depth_slow(depth);
+}
+
+/// A cancelled replicate job was dropped at pop time.
+inline void replication_cancelled_drop() {
+  if (enabled()) detail::replication_cancelled_drop_slow();
+}
+
+/// Backup Buffer activity.
+inline void backup_replica_stored(TopicId topic, TimePoint now) {
+  if (enabled()) detail::backup_replica_stored_slow(topic, now);
+}
+inline void backup_prune_applied(TopicId topic) {
+  if (enabled()) detail::backup_prune_applied_slow(topic);
+}
+
+/// TCP bus egress.
+inline void tcp_frame_sent(std::size_t bytes) {
+  if (enabled()) detail::tcp_frame_sent_slow(bytes);
+}
+
+// Failover timeline (runtime).  The measured x is derived as
+// redirect_at - crash_at; the retention replay duration is reported by the
+// publisher that performed it.
+inline void crash_injected(NodeId node, TimePoint now) {
+  if (enabled()) detail::crash_injected_slow(node, now);
+}
+inline void failover_detected(NodeId node, TimePoint now) {
+  if (enabled()) detail::failover_detected_slow(node, now);
+}
+inline void promotion_complete(NodeId node, TimePoint now,
+                               std::size_t recovered) {
+  if (enabled()) detail::promotion_complete_slow(node, now, recovered);
+}
+inline void publisher_redirected(NodeId node, TimePoint now) {
+  if (enabled()) detail::publisher_redirected_slow(node, now);
+}
+inline void retention_replay(NodeId node, TimePoint now,
+                             Duration replay_duration, std::size_t resent) {
+  if (enabled()) {
+    detail::retention_replay_slow(node, now, replay_duration, resent);
+  }
+}
+
+}  // namespace hooks
+}  // namespace frame::obs

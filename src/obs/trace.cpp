@@ -1,0 +1,98 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace frame::obs {
+
+std::string_view to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPublish:
+      return "publish";
+    case SpanKind::kProxyAdmit:
+      return "proxy-admit";
+    case SpanKind::kJobEnqueue:
+      return "job-enqueue";
+    case SpanKind::kDispatchStart:
+      return "dispatch-start";
+    case SpanKind::kDelivered:
+      return "delivered";
+    case SpanKind::kReplicated:
+      return "replicated";
+    case SpanKind::kDropped:
+      return "dropped";
+    case SpanKind::kCrash:
+      return "crash";
+    case SpanKind::kFailoverDetected:
+      return "failover-detected";
+    case SpanKind::kPromotion:
+      return "promotion";
+    case SpanKind::kRetentionReplay:
+      return "retention-replay";
+  }
+  return "unknown";
+}
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(std::max<std::size_t>(capacity, 2));
+  slots_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+}
+
+void Tracer::record(const SpanEvent& event) {
+  const std::uint64_t claim = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[claim & mask_];
+  if (!slot.lock.try_lock()) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // A writer lapped a full ring revolution while we held the claim would
+  // have a newer ticket; never regress the slot to an older event.
+  if (slot.ticket.load(std::memory_order_relaxed) <= claim) {
+    slot.event = event;
+    slot.ticket.store(claim + 1, std::memory_order_relaxed);
+  }
+  slot.lock.unlock();
+}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+  struct Tagged {
+    std::uint64_t ticket;
+    SpanEvent event;
+  };
+  std::vector<Tagged> tagged;
+  tagged.reserve(mask_ + 1);
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    Slot& slot = slots_[i];
+    if (!slot.lock.try_lock()) continue;
+    const std::uint64_t ticket = slot.ticket.load(std::memory_order_relaxed);
+    if (ticket != 0) tagged.push_back(Tagged{ticket, slot.event});
+    slot.lock.unlock();
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const Tagged& a, const Tagged& b) { return a.ticket < b.ticket; });
+  std::vector<SpanEvent> out;
+  out.reserve(tagged.size());
+  for (const auto& t : tagged) out.push_back(t.event);
+  return out;
+}
+
+void Tracer::clear() {
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    Slot& slot = slots_[i];
+    slot.lock.lock();
+    slot.ticket.store(0, std::memory_order_relaxed);
+    slot.lock.unlock();
+  }
+  head_.store(0, std::memory_order_relaxed);
+  drops_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace frame::obs

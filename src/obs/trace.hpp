@@ -1,0 +1,94 @@
+// Per-message lifecycle tracer.
+//
+// Records span events (publish -> proxy-admit -> job-enqueue ->
+// dispatch-start -> delivered / replicated / dropped, plus the failover
+// timeline) into a fixed-capacity ring.  The hot path never allocates and
+// never blocks: a writer claims a slot with one fetch_add and takes the
+// slot's try-lock; if a concurrent reader (or an extremely delayed writer
+// lapped by the ring) holds the slot, the event is dropped and counted
+// instead of waiting.  Readers snapshot best-effort with the same
+// try-locks, so tracing perturbs the system it observes as little as
+// possible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace frame::obs {
+
+enum class SpanKind : std::uint8_t {
+  kPublish = 0,        ///< tc: message created at the publisher proxy
+  kProxyAdmit = 1,     ///< tp: Message Proxy admitted it (carries observed ΔPB)
+  kJobEnqueue = 2,     ///< dispatch/replicate job pushed (carries Dd'/Dr' slack)
+  kDispatchStart = 3,  ///< a Dispatcher started executing the dispatch job
+  kDelivered = 4,      ///< ts: subscriber got the first copy (carries e2e latency)
+  kReplicated = 5,     ///< Replicator shipped the copy to the Backup
+  kDropped = 6,        ///< copy evicted/stale before its job ran
+  kCrash = 7,          ///< fail-stop crash injected on a broker
+  kFailoverDetected = 8,   ///< a detector suspected the Primary
+  kPromotion = 9,          ///< Backup finished promoting itself
+  kRetentionReplay = 10,   ///< publisher finished re-sending retained copies
+};
+
+std::string_view to_string(SpanKind kind);
+
+/// One lifecycle event.  Fields that do not apply to a kind are
+/// kDurationInfinite / 0.
+struct SpanEvent {
+  SpanKind kind = SpanKind::kPublish;
+  TopicId topic = kInvalidTopic;
+  SeqNo seq = 0;
+  NodeId node = kInvalidNode;
+  TimePoint at = 0;                       ///< driving-clock timestamp
+  Duration delta_pb = kDurationInfinite;  ///< observed ΔPB (admit spans)
+  Duration dd_slack = kDurationInfinite;  ///< remaining dispatch-deadline slack
+  Duration dr_slack = kDurationInfinite;  ///< remaining replication-deadline slack
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;  // power of two
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Records `event`; overwrites the oldest entry once the ring is full.
+  /// Never allocates or blocks (drops the event on slot contention).
+  void record(const SpanEvent& event);
+
+  /// Events ever submitted (including overwritten and dropped ones).
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to slot contention (not to ring wraparound).
+  std::uint64_t contention_drops() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
+  /// Best-effort copy of the retained events, oldest first.
+  std::vector<SpanEvent> snapshot() const;
+
+  void clear();
+
+ private:
+  struct Slot {
+    SpinLock lock;
+    std::atomic<std::uint64_t> ticket{0};  ///< 1 + claim index; 0 = empty
+    SpanEvent event;
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> drops_{0};
+};
+
+}  // namespace frame::obs

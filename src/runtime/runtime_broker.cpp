@@ -2,6 +2,7 @@
 
 #include "broker/failure_detector.hpp"
 #include "common/log.hpp"
+#include "obs/obs.hpp"
 
 namespace frame::runtime {
 
@@ -206,7 +207,7 @@ void RuntimeBroker::delivery_loop() {
     if (!job.has_value()) continue;
 
     if (job->kind == JobKind::kDispatch) {
-      DispatchEffect effect = primary_->execute_dispatch(*job);
+      DispatchEffect effect = primary_->execute_dispatch(*job, clock_.now());
       const bool prune = effect.prune_backup &&
                          options_.peer != kInvalidNode &&
                          has_peer_.load(std::memory_order_acquire);
@@ -229,7 +230,7 @@ void RuntimeBroker::delivery_loop() {
       }
       lock.lock();
     } else {
-      ReplicateEffect effect = primary_->execute_replicate(*job);
+      ReplicateEffect effect = primary_->execute_replicate(*job, clock_.now());
       lock.unlock();
       if (effect.executed && options_.peer != kInvalidNode &&
           has_peer_.load(std::memory_order_acquire)) {
@@ -255,6 +256,7 @@ void RuntimeBroker::detector_loop() {
       detector.on_reply(last_peer_reply_);
     }
     if (detector.suspected(clock_.now())) {
+      obs::hooks::failover_detected(options_.node, clock_.now());
       promote();
       return;
     }
@@ -273,9 +275,12 @@ void RuntimeBroker::promote() {
     }
     // Recovery: dispatch the pruned Backup Buffer set first (Section IV-A).
     const TimePoint now = clock_.now();
-    for (const auto& msg : backup_->promote()) {
+    const std::vector<Message> recovery = backup_->promote();
+    for (const auto& msg : recovery) {
       primary_->on_recovery_copy(msg, now);
     }
+    obs::hooks::promotion_complete(options_.node, clock_.now(),
+                                   recovery.size());
     has_peer_.store(false, std::memory_order_release);
     is_primary_.store(true, std::memory_order_release);
   }

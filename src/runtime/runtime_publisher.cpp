@@ -2,6 +2,7 @@
 
 #include "broker/failure_detector.hpp"
 #include "common/log.hpp"
+#include "obs/obs.hpp"
 
 namespace frame::runtime {
 
@@ -66,11 +67,18 @@ void RuntimePublisher::run_loop() {
           target == options_.primary ? options_.backup : options_.primary;
       FRAME_LOG_INFO("publisher %u: failing over to broker %u",
                      options_.node, next_target);
+      const TimePoint replay_start = clock_.now();
+      std::size_t resent = 0;
       for (const auto& msg : engine_->failover_resend()) {
         bus_.send(options_.node, next_target,
                   encode_message_frame(WireType::kResend, msg));
+        ++resent;
       }
+      const TimePoint replay_end = clock_.now();
+      obs::hooks::retention_replay(options_.node, replay_end,
+                                   replay_end - replay_start, resent);
       target_.store(next_target, std::memory_order_release);
+      obs::hooks::publisher_redirected(options_.node, clock_.now());
       failovers_.fetch_add(1, std::memory_order_acq_rel);
       last_target_reply_.store(now, std::memory_order_release);
       detector.start(now);

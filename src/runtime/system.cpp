@@ -4,6 +4,8 @@
 #include <cassert>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace frame::runtime {
 
 EdgeSystem::EdgeSystem(SystemOptions options, std::vector<ProxyGroup> proxies)
@@ -114,7 +116,10 @@ void EdgeSystem::stop() {
   bus_->shutdown();
 }
 
-void EdgeSystem::crash_primary() { primary_->crash(); }
+void EdgeSystem::crash_primary() {
+  obs::hooks::crash_injected(nodes_.primary, clock_.now());
+  primary_->crash();
+}
 
 void EdgeSystem::rejoin_crashed_primary() {
   primary_->restart_as_backup(nodes_.backup);

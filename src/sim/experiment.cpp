@@ -381,7 +381,7 @@ void Experiment::kick_delivery(int host_index, TimePoint now) {
 
     Duration cost = cfg_.costs.stale_job;
     if (job->kind == JobKind::kDispatch) {
-      DispatchEffect effect = host.primary->execute_dispatch(*job);
+      DispatchEffect effect = host.primary->execute_dispatch(*job, now);
       if (effect.executed) {
         cost = cfg_.costs.dispatch;
         if (effect.prune_backup) {
@@ -408,7 +408,7 @@ void Experiment::kick_delivery(int host_index, TimePoint now) {
         }
       }
     } else {
-      ReplicateEffect effect = host.primary->execute_replicate(*job);
+      ReplicateEffect effect = host.primary->execute_replicate(*job, now);
       if (effect.aborted_dispatched) {
         cost = cfg_.costs.replicate_abort;
       } else if (effect.executed) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -93,6 +94,44 @@ TEST(Histogram, BinningAndClamping) {
   EXPECT_EQ(histogram.bin(9), 2u);
   EXPECT_EQ(histogram.total(), 4u);
   EXPECT_DOUBLE_EQ(histogram.bin_low(5), 5.0);
+}
+
+TEST(Histogram, DegenerateRangeCountsInBinZero) {
+  // lo == hi used to divide by zero and cast NaN to an integer (UB).
+  Histogram histogram(3.0, 3.0, 4);
+  histogram.add(3.0);
+  histogram.add(-100.0);
+  histogram.add(100.0);
+  EXPECT_EQ(histogram.bin(0), 3u);
+  EXPECT_EQ(histogram.total(), 3u);
+}
+
+TEST(Histogram, NanSampleIsDropped) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.add(std::nan(""));
+  EXPECT_EQ(histogram.total(), 0u);
+  histogram.add(5.0);
+  EXPECT_EQ(histogram.total(), 1u);
+  EXPECT_EQ(histogram.bin(5), 1u);
+}
+
+TEST(Histogram, InfinitySamplesClampToEdgeBins) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.add(std::numeric_limits<double>::infinity());
+  histogram.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(histogram.bin(9), 1u);
+  EXPECT_EQ(histogram.bin(0), 1u);
+}
+
+TEST(SampleSet, PercentileClampsOutOfRangeP) {
+  SampleSet samples;
+  for (int i = 1; i <= 10; ++i) samples.add(i);
+  // p outside [0, 100] used to index out of bounds.
+  EXPECT_DOUBLE_EQ(samples.percentile(-50.0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(150.0), 10.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(std::nan("")), 1.0);
 }
 
 TEST(Rng, DeterministicForSeed) {

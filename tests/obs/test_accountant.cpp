@@ -1,0 +1,153 @@
+// Deadline accountant vs the paper's Lemma 1 / Lemma 2, with deadlines
+// hand-computed from the timing model (core/timing.hpp) exactly as the Job
+// Generator stamps them.
+#include <gtest/gtest.h>
+
+#include "core/timing.hpp"
+#include "core/topic.hpp"
+#include "obs/deadline_accountant.hpp"
+
+namespace frame::obs {
+namespace {
+
+TimingParams test_params() {
+  TimingParams params;
+  params.delta_pb = milliseconds(5);
+  params.delta_bs_edge = milliseconds(1);
+  params.delta_bs_cloud = milliseconds(20);
+  params.delta_bb = milliseconds(1);
+  params.failover_x = milliseconds(60);
+  return params;
+}
+
+// Ti=100ms, Di=150ms, Li=0, Ni=2, edge.
+TopicSpec test_spec(TopicId id = 0) {
+  return TopicSpec{id, milliseconds(100), milliseconds(150), 0, 2,
+                   Destination::kEdge};
+}
+
+DeadlineAccountant& configured_accountant() {
+  DeadlineAccountant& accountant = DeadlineAccountant::instance();
+  accountant.configure({test_spec(0), test_spec(1)});
+  accountant.reset();
+  return accountant;
+}
+
+TEST(DeadlineAccountant, DispatchSlackAgainstLemma2) {
+  DeadlineAccountant& accountant = configured_accountant();
+  const TopicSpec spec = test_spec();
+  const TimingParams params = test_params();
+
+  // Lemma 2: Dd = Di - dPB - dBS = 150 - 5 - 1 = 144 ms.
+  const Duration dd = dispatch_deadline(spec, params);
+  ASSERT_EQ(dd, milliseconds(144));
+
+  // A message admitted at tp has absolute deadline tp + Dd.  Executing
+  // before it leaves positive slack; after it, negative.
+  const TimePoint tp = milliseconds(1000);
+  const TimePoint deadline = tp + dd;
+  accountant.on_dispatch_executed(0, deadline - (tp + milliseconds(10)));
+  accountant.on_dispatch_executed(0, deadline - (tp + milliseconds(144)));
+  accountant.on_dispatch_executed(0, deadline - (tp + milliseconds(200)));
+
+  const TopicDeadlineSnapshot snap = accountant.snapshot(0);
+  EXPECT_EQ(snap.dispatches, 3u);
+  EXPECT_EQ(snap.dispatch_misses, 1u);  // only the 200 ms execution missed
+}
+
+TEST(DeadlineAccountant, ReplicationSlackAgainstLemma1) {
+  DeadlineAccountant& accountant = configured_accountant();
+  const TopicSpec spec = test_spec();
+  const TimingParams params = test_params();
+
+  // Lemma 1: Dr = (Ni+Li)*Ti - dPB - dBB - x = 200 - 5 - 1 - 60 = 134 ms.
+  const Duration dr = replication_deadline(spec, params);
+  ASSERT_EQ(dr, milliseconds(134));
+
+  const TimePoint tp = milliseconds(2000);
+  const TimePoint deadline = tp + dr;
+  accountant.on_replication_executed(0, deadline - (tp + milliseconds(100)));
+  accountant.on_replication_executed(0, deadline - (tp + milliseconds(135)));
+
+  const TopicDeadlineSnapshot snap = accountant.snapshot(0);
+  EXPECT_EQ(snap.replications, 2u);
+  EXPECT_EQ(snap.replication_misses, 1u);
+}
+
+TEST(DeadlineAccountant, PerMessageDeltaPbShiftsTheDeadline) {
+  DeadlineAccountant& accountant = configured_accountant();
+  const TopicSpec spec = test_spec();
+  const TimingParams params = test_params();
+
+  // The Job Generator uses the pseudo deadline minus the *observed* dPB:
+  // Dd' = Di - dBS = 149 ms; with observed dPB = 8 ms the per-message
+  // deadline tightens to 141 ms, so an execution 142 ms after tp misses
+  // even though it would meet the configured-bound Dd of 144 ms.
+  const Duration dd_pseudo = dispatch_pseudo_deadline(spec, params);
+  ASSERT_EQ(dd_pseudo, milliseconds(149));
+  const Duration dd =
+      apply_observed_delta_pb(dd_pseudo, milliseconds(8));
+  ASSERT_EQ(dd, milliseconds(141));
+
+  const TimePoint tp = milliseconds(3000);
+  accountant.on_dispatch_executed(0, (tp + dd) - (tp + milliseconds(142)));
+  EXPECT_EQ(accountant.snapshot(0).dispatch_misses, 1u);
+}
+
+TEST(DeadlineAccountant, E2eMissesCountAgainstDi) {
+  DeadlineAccountant& accountant = configured_accountant();
+  accountant.on_delivery(0, 1, milliseconds(100));  // within Di = 150 ms
+  accountant.on_delivery(0, 2, milliseconds(151));  // late
+  const TopicDeadlineSnapshot snap = accountant.snapshot(0);
+  EXPECT_EQ(snap.deliveries, 2u);
+  EXPECT_EQ(snap.e2e_misses, 1u);
+  EXPECT_EQ(snap.e2e_latency.count(), 2u);
+}
+
+TEST(DeadlineAccountant, LossStreaksComparedToLi) {
+  DeadlineAccountant& accountant = DeadlineAccountant::instance();
+  // Topic 1: Li = 2.
+  TopicSpec tolerant = test_spec(1);
+  tolerant.loss_tolerance = 2;
+  accountant.configure({test_spec(0), tolerant});
+  accountant.reset();
+
+  // Sequence 1,2 delivered, 3-4 lost, 5 delivered: streak 2 == Li, ok.
+  accountant.on_delivery(1, 1, milliseconds(1));
+  accountant.on_delivery(1, 2, milliseconds(1));
+  accountant.on_delivery(1, 5, milliseconds(1));
+  TopicDeadlineSnapshot snap = accountant.snapshot(1);
+  EXPECT_EQ(snap.losses_total, 2u);
+  EXPECT_EQ(snap.max_loss_streak, 2u);
+  EXPECT_FALSE(snap.loss_budget_exceeded);
+
+  // 6-8 lost, 9 delivered: streak 3 > Li = 2 -> budget exceeded.
+  accountant.on_delivery(1, 9, milliseconds(1));
+  snap = accountant.snapshot(1);
+  EXPECT_EQ(snap.losses_total, 5u);
+  EXPECT_EQ(snap.max_loss_streak, 3u);
+  EXPECT_TRUE(snap.loss_budget_exceeded);
+}
+
+TEST(DeadlineAccountant, BestEffortTopicNeverExceedsBudget) {
+  DeadlineAccountant& accountant = DeadlineAccountant::instance();
+  TopicSpec best_effort = test_spec(0);
+  best_effort.loss_tolerance = kLossInfinite;
+  accountant.configure({best_effort});
+  accountant.reset();
+  accountant.on_delivery(0, 1, milliseconds(1));
+  accountant.on_delivery(0, 100, milliseconds(1));
+  const TopicDeadlineSnapshot snap = accountant.snapshot(0);
+  EXPECT_EQ(snap.max_loss_streak, 98u);
+  EXPECT_FALSE(snap.loss_budget_exceeded);
+}
+
+TEST(DeadlineAccountant, UnknownTopicIsIgnored) {
+  DeadlineAccountant& accountant = configured_accountant();
+  accountant.on_dispatch_executed(99, milliseconds(-1));
+  accountant.on_delivery(99, 1, milliseconds(1));
+  EXPECT_EQ(accountant.snapshot(99).topic, kInvalidTopic);
+}
+
+}  // namespace
+}  // namespace frame::obs

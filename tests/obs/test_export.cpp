@@ -1,0 +1,126 @@
+// Exporter golden checks: drive the global instruments to known values and
+// assert the exact lines/fragments each format must contain.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+
+namespace frame::obs {
+namespace {
+
+/// Seeds the global registry/accountant/tracer with a small known state.
+ObsSnapshot known_snapshot() {
+  reset_all();
+  registry().counter("test_export_events_total").add(42);
+  registry().gauge("test_export_depth").set(-3);
+  LatencyRecorder& lat = registry().latency("test_export_latency_ns");
+  lat.record(1e6);  // 1 ms
+
+  TopicSpec spec{0, milliseconds(100), milliseconds(150), 2, 1,
+                 Destination::kEdge};
+  accountant().configure({spec});
+  accountant().on_dispatch_executed(0, milliseconds(10));
+  accountant().on_dispatch_executed(0, milliseconds(-1));
+  accountant().on_replication_executed(0, milliseconds(5));
+  accountant().on_delivery(0, 1, milliseconds(120));
+  accountant().on_delivery(0, 4, milliseconds(160));  // late; streak of 2
+
+  SpanEvent event;
+  event.kind = SpanKind::kDelivered;
+  event.topic = 0;
+  event.seq = 1;
+  tracer().record(event);
+  return collect_snapshot(/*max_spans=*/16);
+}
+
+TEST(Export, JsonContainsInstrumentsAndTopicAccount) {
+  const std::string json = to_json(known_snapshot());
+  EXPECT_NE(json.find("\"test_export_events_total\": 42"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"test_export_depth\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"test_export_latency_ns\": {\"count\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"topic\":0,\"li\":2,\"di_ms\":150.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dispatches\":2,\"dispatch_misses\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"deliveries\":2,\"e2e_misses\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"losses_total\":2,\"max_loss_streak\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"loss_budget_exceeded\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"tracer\": {\"recorded\": 1, \"contention_drops\": 0}"),
+            std::string::npos);
+}
+
+TEST(Export, PrometheusTypesAndSeries) {
+  const std::string prom = to_prometheus(known_snapshot());
+  EXPECT_NE(prom.find("# TYPE test_export_events_total counter\n"
+                      "test_export_events_total 42\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE test_export_depth gauge\n"
+                      "test_export_depth -3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE test_export_latency_ns summary\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_export_latency_ns{quantile=\"0.5\"} 1000000.0\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_export_latency_ns_count 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("frame_topic_dispatch_misses_total{topic=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("frame_topic_max_loss_streak{topic=\"0\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("frame_topic_e2e_latency_ns{topic=\"0\",quantile="),
+            std::string::npos);
+}
+
+TEST(Export, TableShowsTopicRowAndTracerLine) {
+  const std::string table = to_table(known_snapshot());
+  EXPECT_NE(table.find("== per-topic deadline & latency accounting =="),
+            std::string::npos);
+  // Topic row: id 0, Li 2, Di 150.0, 2 deliveries, within the loss budget.
+  EXPECT_NE(table.find("0      2      150.0"), std::string::npos) << table;
+  EXPECT_NE(table.find("ok"), std::string::npos);
+  EXPECT_NE(table.find("test_export_events_total"), std::string::npos);
+  EXPECT_NE(table.find("spans recorded 1 (contention drops 0"),
+            std::string::npos);
+  // No crash gauge was set: the failover timeline is omitted.
+  EXPECT_EQ(table.find("failover timeline"), std::string::npos);
+}
+
+TEST(Export, FailoverTimelineAppearsWithCrashGauges) {
+  reset_all();
+  registry().gauge("frame_failover_crash_at_ns").set(1000000000);
+  registry().gauge("frame_failover_detected_at_ns").set(1030000000);
+  registry().gauge("frame_failover_promotion_at_ns").set(1031000000);
+  registry().gauge("frame_failover_redirect_at_ns").set(1040000000);
+  const std::string table = to_table(collect_snapshot(0));
+  EXPECT_NE(table.find("== failover timeline =="), std::string::npos);
+  EXPECT_NE(table.find("crash injected        t=1000.000 ms"),
+            std::string::npos)
+      << table;
+  EXPECT_NE(table.find("failure detected      t=1030.000 ms  (+30.000 ms)"),
+            std::string::npos);
+  EXPECT_NE(
+      table.find(
+          "publishers redirected t=1040.000 ms  (+40.000 ms)  <- measured x"),
+      std::string::npos);
+}
+
+TEST(Export, HooksAreInertWhenDisabledAndRecordWhenEnabled) {
+  if (!kCompiled) GTEST_SKIP() << "built with FRAME_OBS=OFF";
+  reset_all();
+  ASSERT_FALSE(enabled());
+  hooks::publish(0, 1, milliseconds(1));
+  EXPECT_EQ(registry().counter("frame_publisher_created_total").value(), 0u);
+  {
+    EnabledScope scope(true);
+    hooks::publish(0, 2, milliseconds(2));
+  }
+  EXPECT_EQ(registry().counter("frame_publisher_created_total").value(), 1u);
+}
+
+}  // namespace
+}  // namespace frame::obs
