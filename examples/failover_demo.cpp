@@ -3,11 +3,68 @@
 // Backup promotion, publisher retention resend, and the resulting
 // loss/duplicate accounting per topic.
 //
+// Also demonstrates the wire-path guarantee behind fail-over: a publisher
+// redirecting to a new broker cannot wedge on a dead address, because
+// TcpConnection::connect is bounded by SystemOptions::connect_timeout.
+//
 //   $ ./failover_demo
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <thread>
 
+#include "net/tcp.hpp"
 #include "runtime/system.hpp"
+
+namespace {
+
+// Probe the redirect path against a deliberately unreachable "Primary": a
+// listener whose accept queue is full silently drops SYNs, exactly like a
+// crashed or partitioned host.  Returns false if the connect attempt was
+// not bounded.
+bool probe_bounded_redirect(frame::Duration timeout) {
+  using namespace frame;
+
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  ::listen(lfd, 1);
+  socklen_t len = sizeof addr;
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len);
+
+  int prefill[8];
+  for (int& fd : prefill) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    (void)::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  MonotonicClock clock;
+  const TimePoint start = clock.now();
+  auto result = TcpConnection::connect("127.0.0.1", ntohs(addr.sin_port),
+                                       timeout);
+  const Duration elapsed = clock.now() - start;
+
+  for (const int fd : prefill) ::close(fd);
+  ::close(lfd);
+
+  std::printf("[wire] redirect to unreachable Primary: %s after %.0f ms "
+              "(timeout %.0f ms) -> %s\n",
+              result.is_ok() ? "connected?!"
+                             : result.status().to_string().c_str(),
+              static_cast<double>(elapsed) / 1e6,
+              static_cast<double>(timeout) / 1e6,
+              elapsed < seconds(2) ? "bounded" : "NOT BOUNDED");
+  return !result.is_ok() && elapsed < seconds(2);
+}
+
+}  // namespace
 
 int main() {
   using namespace frame;
@@ -37,6 +94,11 @@ int main() {
           TopicSpec{2, milliseconds(100), milliseconds(200), 0, 1,
                     Destination::kEdge},
       }});
+
+  if (!probe_bounded_redirect(options.connect_timeout)) {
+    std::printf("publisher redirect is not bounded!\n");
+    return 1;
+  }
 
   EdgeSystem system(options, proxies);
   for (const auto& spec : proxies[0].topics) {

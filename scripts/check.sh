@@ -23,3 +23,9 @@ esac
 cmake -B "$build_dir" -S "$repo" -DFRAME_SANITIZE="$sanitize"
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
+
+# Smoke test: the real TCP wire path end to end (publish -> broker ->
+# subscriber over loopback sockets through the epoll reactor).
+echo "--- tcp_wire_demo smoke test ---"
+"$build_dir/examples/tcp_wire_demo" >/dev/null
+echo "tcp_wire_demo: OK"

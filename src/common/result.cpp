@@ -18,6 +18,8 @@ std::string_view to_string(StatusCode code) {
       return "closed";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kProtocolError:
+      return "protocol-error";
     case StatusCode::kInternal:
       return "internal";
   }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kInvalid,        // malformed input (bad frame, bad config)
   kClosed,         // endpoint no longer available (crashed / shut down)
   kUnavailable,    // transient: try again later
+  kProtocolError,  // peer violated the wire protocol (e.g. oversized frame)
   kInternal,       // invariant violation escaped into release build
 };
 

@@ -17,6 +17,9 @@ bool JobQueue::drop_if_cancelled() {
   heap_.pop();
   ++cancelled_drops_;
   obs::hooks::replication_cancelled_drop();
+  // The drop changes the stored depth just like a pop does; without this
+  // the depth gauge goes stale after cancelled-replication drops.
+  obs::hooks::job_queue_depth(heap_.size());
   return true;
 }
 
@@ -42,6 +45,7 @@ std::optional<Job> JobQueue::peek() {
 void JobQueue::clear() {
   heap_ = {};
   cancelled_.clear();
+  obs::hooks::job_queue_depth(0);
 }
 
 }  // namespace frame

@@ -1,0 +1,59 @@
+// Jittered exponential backoff schedule for client reconnects.
+//
+// Deterministic given a seed: the jitter comes from the repo's xoshiro
+// Rng, so tests can assert the exact retry schedule and two links seeded
+// identically behave identically.  Delays grow as base * multiplier^n,
+// clamped to `max`, each scaled by a jitter factor uniform in
+// [1 - jitter, 1 + jitter].
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace frame {
+
+struct BackoffOptions {
+  Duration base = milliseconds(10);
+  Duration max = seconds(2);
+  double multiplier = 2.0;
+  double jitter = 0.2;  ///< +-20% around the nominal delay
+};
+
+class BackoffSchedule {
+ public:
+  using Options = BackoffOptions;
+
+  explicit BackoffSchedule(Options options = {}, std::uint64_t seed = 1)
+      : options_(options), rng_(seed) {}
+
+  /// Delay to wait before the next attempt; advances the schedule.
+  Duration next_delay() {
+    double nominal = static_cast<double>(options_.base);
+    for (int i = 0; i < attempt_; ++i) {
+      nominal *= options_.multiplier;
+      if (nominal >= static_cast<double>(options_.max)) break;
+    }
+    nominal = std::min(nominal, static_cast<double>(options_.max));
+    const double factor =
+        rng_.uniform(1.0 - options_.jitter, 1.0 + options_.jitter);
+    ++attempt_;
+    const auto delay = static_cast<Duration>(nominal * factor);
+    return std::clamp<Duration>(delay, 0, options_.max);
+  }
+
+  /// Attempts made since the last reset.
+  int attempts() const { return attempt_; }
+
+  /// Back to the initial delay after a successful connect.
+  void reset() { attempt_ = 0; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace frame

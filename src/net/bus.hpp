@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/result.hpp"
 #include "common/types.hpp"
 
 namespace frame {
@@ -33,6 +34,17 @@ class Bus {
   /// Sends a frame; silently dropped if either end is crashed or unknown.
   virtual void send(NodeId from, NodeId to,
                     std::vector<std::uint8_t> frame) = 0;
+
+  /// Like send(), but surfaces the transport's verdict: kCapacity means
+  /// the link is backpressured (the frame was dropped; the caller may
+  /// retry or shed load), kUnavailable/kClosed mean the destination is
+  /// unreachable right now.  The base implementation keeps fire-and-forget
+  /// semantics so latency-shaping transports need not change.
+  virtual Status try_send(NodeId from, NodeId to,
+                          std::vector<std::uint8_t> frame) {
+    send(from, to, std::move(frame));
+    return Status::ok();
+  }
 
   /// Fail-stop crash of a node.
   virtual void crash(NodeId node) = 0;

@@ -1,0 +1,138 @@
+#include "net/epoll_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace frame {
+
+EpollLoop::EpollLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  thread_ = std::thread([this] { run(); });
+}
+
+EpollLoop::~EpollLoop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+  if (thread_.joinable()) thread_.join();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+EpollLoop& EpollLoop::default_loop() {
+  static EpollLoop loop;
+  return loop;
+}
+
+void EpollLoop::wake() {
+  const std::uint64_t one = 1;
+  ssize_t n;
+  do {
+    n = ::write(wake_fd_, &one, sizeof(one));
+  } while (n < 0 && errno == EINTR);
+}
+
+Status EpollLoop::add(int fd, std::uint32_t events, EventHandler handler) {
+  {
+    std::lock_guard lock(mutex_);
+    handlers_[fd] = std::make_shared<EventHandler>(std::move(handler));
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard lock(mutex_);
+    handlers_.erase(fd);
+    return Status(StatusCode::kInternal,
+                  "epoll_ctl(ADD) failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::ok();
+}
+
+Status EpollLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status(StatusCode::kNotFound,
+                  "epoll_ctl(MOD) failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::ok();
+}
+
+void EpollLoop::remove_sync(int fd) {
+  std::unique_lock lock(mutex_);
+  if (handlers_.erase(fd) > 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+  if (on_loop_thread()) return;  // inside fd's own handler: removal is done
+  // Another thread: wait until the loop is no longer inside this fd's
+  // handler (the map erase above stops any future dispatch).
+  dispatch_cv_.wait(lock, [&] { return dispatching_fd_ != fd; });
+}
+
+void EpollLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EpollLoop::run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FRAME_LOG_ERROR("EpollLoop: epoll_wait failed: %s",
+                      std::strerror(errno));
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        ssize_t r;
+        do {
+          r = ::read(wake_fd_, &drain, sizeof(drain));
+        } while (r < 0 && errno == EINTR);
+        continue;
+      }
+      std::shared_ptr<EventHandler> handler;
+      {
+        std::lock_guard lock(mutex_);
+        const auto it = handlers_.find(fd);
+        if (it == handlers_.end()) continue;  // removed since epoll_wait
+        handler = it->second;
+        dispatching_fd_ = fd;
+      }
+      (*handler)(events[i].events);
+      {
+        std::lock_guard lock(mutex_);
+        dispatching_fd_ = -1;
+      }
+      dispatch_cv_.notify_all();
+    }
+    // Posted tasks run between dispatch rounds.
+    std::vector<std::function<void()>> tasks;
+    {
+      std::lock_guard lock(mutex_);
+      tasks.swap(tasks_);
+    }
+    for (auto& task : tasks) task();
+  }
+}
+
+}  // namespace frame

@@ -1,0 +1,81 @@
+// Minimal epoll reactor: one thread multiplexing many non-blocking
+// sockets.  Connections and listeners register an event callback per fd;
+// the loop thread dispatches readiness events and runs posted tasks.
+//
+// Threading contract:
+//   * add()/modify()/remove_sync()/post() are safe from any thread.
+//   * Event callbacks run only on the loop thread, never concurrently
+//     with each other.
+//   * remove_sync(fd) returns only once the callback for fd can no
+//     longer be invoked (it runs the removal inline when already called
+//     from the loop thread).  After it returns, the fd's owner may be
+//     destroyed.
+//   * The loop never closes fds it is handed; ownership stays with the
+//     registrant.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace frame {
+
+class EpollLoop {
+ public:
+  /// Receives the ready epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  using EventHandler = std::function<void(std::uint32_t events)>;
+
+  EpollLoop();
+  ~EpollLoop();
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Process-wide shared loop for standalone connections/listeners that
+  /// are not owned by a bus.  Started lazily, joined at exit.
+  static EpollLoop& default_loop();
+
+  /// Registers fd for `events`; the handler runs on the loop thread.
+  Status add(int fd, std::uint32_t events, EventHandler handler);
+
+  /// Changes the interest mask of a registered fd.  Safe to call from
+  /// any thread; waiters inside epoll_wait observe the new mask.
+  Status modify(int fd, std::uint32_t events);
+
+  /// Deregisters fd and waits until its handler can no longer run.
+  void remove_sync(int fd);
+
+  /// Runs `fn` on the loop thread as soon as possible.
+  void post(std::function<void()> fn);
+
+  bool on_loop_thread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+ private:
+  void run();
+  void wake();
+  void remove_locked(int fd);
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  std::mutex mutex_;
+  std::condition_variable dispatch_cv_;
+  int dispatching_fd_ = -1;  ///< fd whose handler is running right now
+  std::unordered_map<int, std::shared_ptr<EventHandler>> handlers_;
+  std::vector<std::function<void()>> tasks_;
+
+  std::thread thread_;  ///< last member: started once state is ready
+};
+
+}  // namespace frame

@@ -1,5 +1,7 @@
 #include "net/tcp_bus.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "obs/obs.hpp"
 
@@ -29,6 +31,11 @@ bool unwrap(std::vector<std::uint8_t>& frame, NodeId& from) {
   return true;
 }
 
+/// Deterministic per-link jitter seed: tests can predict the schedule.
+std::uint64_t link_seed(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
 }  // namespace
 
 TcpBus::~TcpBus() { shutdown(); }
@@ -36,7 +43,8 @@ TcpBus::~TcpBus() { shutdown(); }
 Status TcpBus::open_listener(NodeId node) {
   // Called with mutex_ held.
   auto listener = TcpListener::listen(
-      0, [this, node](std::unique_ptr<TcpConnection> conn) {
+      0,
+      [this, node](std::unique_ptr<TcpConnection> conn) {
         TcpConnection* raw = conn.get();
         raw->start([this, node](std::vector<std::uint8_t> frame) {
           NodeId from = kInvalidNode;
@@ -58,8 +66,17 @@ Status TcpBus::open_listener(NodeId node) {
           raw->close();
           return;
         }
-        it->second.in.push_back(std::move(conn));
-      });
+        // Prune connections that died since the last accept; destroying
+        // them here is safe because the reactor removes handlers inline
+        // when called from its own thread.
+        auto& in = it->second.in;
+        in.erase(std::remove_if(
+                     in.begin(), in.end(),
+                     [](const auto& c) { return c->closed(); }),
+                 in.end());
+        in.push_back(std::move(conn));
+      },
+      &loop_);
   if (!listener.is_ok()) return listener.status();
   Endpoint& endpoint = endpoints_[node];
   endpoint.listener = listener.take();
@@ -80,47 +97,81 @@ void TcpBus::register_endpoint(NodeId node, Handler handler) {
   }
 }
 
-TcpConnection* TcpBus::outgoing_locked(NodeId from, NodeId to) {
+TcpConnection* TcpBus::outgoing_locked(NodeId from, NodeId to, Status* why) {
   Endpoint& src = endpoints_[from];
-  if (auto it = src.out.find(to); it != src.out.end() && !it->second->closed()) {
-    return it->second.get();
+  auto link_it = src.out.find(to);
+  if (link_it != src.out.end() && link_it->second.conn &&
+      !link_it->second.conn->closed()) {
+    return link_it->second.conn.get();
   }
   const auto dst = endpoints_.find(to);
   if (dst == endpoints_.end() || dst->second.crashed ||
       dst->second.port == 0) {
+    *why = Status(StatusCode::kNotFound, "unknown or crashed destination");
     return nullptr;
   }
-  auto conn = TcpConnection::connect("127.0.0.1", dst->second.port);
-  if (!conn.is_ok()) return nullptr;
+  Link& link = src.out[to];
+  if (!link.backoff) {
+    link.backoff = std::make_unique<BackoffSchedule>(backoff_options_,
+                                                     link_seed(from, to));
+  }
+  const TimePoint now = clock_.now();
+  if (now < link.next_attempt) {
+    // Inside the backoff window: drop fast instead of paying another
+    // connect timeout.  This keeps send() bounded while a peer is down.
+    *why = Status(StatusCode::kUnavailable, "link in reconnect backoff");
+    return nullptr;
+  }
+  if (link.backoff->attempts() > 0) obs::hooks::tcp_reconnect_attempt();
+  auto conn = TcpConnection::connect("127.0.0.1", dst->second.port,
+                                     connect_timeout_, &loop_);
+  if (!conn.is_ok()) {
+    link.next_attempt = now + link.backoff->next_delay();
+    link.conn.reset();
+    *why = conn.status();
+    return nullptr;
+  }
+  link.backoff->reset();
+  link.next_attempt = 0;
   TcpConnection* raw = conn.value().get();
+  raw->set_send_queue_limit(send_queue_limit_);
   raw->start([](std::vector<std::uint8_t>) {});  // outgoing is send-only
-  src.out[to] = conn.take();
+  link.conn = conn.take();
   return raw;
 }
 
 void TcpBus::send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) {
+  (void)try_send(from, to, std::move(frame));
+}
+
+Status TcpBus::try_send(NodeId from, NodeId to,
+                        std::vector<std::uint8_t> frame) {
   TcpConnection* conn = nullptr;
+  Status why = Status::ok();
   {
     std::lock_guard lock(mutex_);
-    if (shutdown_) return;
+    if (shutdown_) return Status(StatusCode::kClosed, "bus shut down");
     const auto src = endpoints_.find(from);
-    if (src == endpoints_.end() || src->second.crashed) return;
+    if (src == endpoints_.end() || src->second.crashed) {
+      return Status(StatusCode::kClosed, "sender crashed or unknown");
+    }
     const auto dst = endpoints_.find(to);
-    if (dst == endpoints_.end() || dst->second.crashed) return;
-    conn = outgoing_locked(from, to);
+    if (dst == endpoints_.end() || dst->second.crashed) {
+      return Status(StatusCode::kNotFound, "unknown or crashed destination");
+    }
+    conn = outgoing_locked(from, to, &why);
   }
-  if (conn != nullptr) {
-    obs::hooks::tcp_frame_sent(frame.size() + 4);
-    (void)conn->send_frame(wrap(from, frame));
-  }
+  if (conn == nullptr) return why;
+  obs::hooks::tcp_frame_sent(frame.size() + 4);
+  return conn->send_frame(wrap(from, frame));
 }
 
 void TcpBus::crash(NodeId node) {
   // Collect doomed resources under the lock but destroy them outside it:
-  // destroying a TcpConnection joins its reader thread, and an incoming
-  // reader may itself be waiting on mutex_.
+  // destroying a connection synchronizes with the reactor, whose thread
+  // may itself be waiting on mutex_ inside a frame handler.
   std::unique_ptr<TcpListener> listener;
-  std::unordered_map<NodeId, std::unique_ptr<TcpConnection>> out;
+  std::unordered_map<NodeId, Link> out;
   std::vector<std::unique_ptr<TcpConnection>> in;
   {
     std::lock_guard lock(mutex_);
@@ -133,30 +184,38 @@ void TcpBus::crash(NodeId node) {
     out.swap(endpoint.out);
     in.swap(endpoint.in);
     // Peers' cached connections to this node will fail on the next send
-    // and be re-established (or dropped) lazily.
+    // and be re-established (with backoff) lazily.
   }
   if (listener) listener->close();
-  for (auto& [peer, conn] : out) conn->close();
+  for (auto& [peer, link] : out) {
+    if (link.conn) link.conn->close();
+  }
   for (auto& conn : in) conn->close();
 }
 
 void TcpBus::restore(NodeId node) {
-  std::lock_guard lock(mutex_);
-  auto it = endpoints_.find(node);
-  if (it == endpoints_.end() || !it->second.crashed) return;
-  const Status status = open_listener(node);
-  if (!status.is_ok()) {
-    FRAME_LOG_ERROR("TcpBus: restore of node %u failed: %s", node,
-                    status.to_string().c_str());
-  }
-  // Stale outgoing connections other nodes hold toward the old listener
-  // are closed; they will reconnect to the new port lazily.
-  for (auto& [id, endpoint] : endpoints_) {
-    if (auto out = endpoint.out.find(node); out != endpoint.out.end()) {
-      out->second->close();
-      endpoint.out.erase(out);
+  std::vector<std::unique_ptr<TcpConnection>> doomed;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = endpoints_.find(node);
+    if (it == endpoints_.end() || !it->second.crashed) return;
+    const Status status = open_listener(node);
+    if (!status.is_ok()) {
+      FRAME_LOG_ERROR("TcpBus: restore of node %u failed: %s", node,
+                      status.to_string().c_str());
+    }
+    // Stale outgoing connections other nodes hold toward the old listener
+    // are retired; they will reconnect to the new port lazily (the
+    // backoff schedule is dropped with the link, so the first attempt is
+    // immediate).
+    for (auto& [id, endpoint] : endpoints_) {
+      if (auto out = endpoint.out.find(node); out != endpoint.out.end()) {
+        if (out->second.conn) doomed.push_back(std::move(out->second.conn));
+        endpoint.out.erase(out);
+      }
     }
   }
+  for (auto& conn : doomed) conn->close();
 }
 
 bool TcpBus::crashed(NodeId node) const {
@@ -171,6 +230,21 @@ std::uint16_t TcpBus::port_of(NodeId node) const {
   return it == endpoints_.end() ? 0 : it->second.port;
 }
 
+void TcpBus::set_connect_timeout(Duration timeout) {
+  std::lock_guard lock(mutex_);
+  connect_timeout_ = timeout;
+}
+
+void TcpBus::set_backoff(BackoffSchedule::Options options) {
+  std::lock_guard lock(mutex_);
+  backoff_options_ = options;
+}
+
+void TcpBus::set_send_queue_limit(std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  send_queue_limit_ = bytes;
+}
+
 void TcpBus::shutdown() {
   std::unordered_map<NodeId, Endpoint> doomed;
   {
@@ -181,7 +255,9 @@ void TcpBus::shutdown() {
   }
   for (auto& [node, endpoint] : doomed) {
     if (endpoint.listener) endpoint.listener->close();
-    for (auto& [peer, conn] : endpoint.out) conn->close();
+    for (auto& [peer, link] : endpoint.out) {
+      if (link.conn) link.conn->close();
+    }
     for (auto& conn : endpoint.in) conn->close();
   }
 }

@@ -7,6 +7,13 @@
 // listener and every connection touching it (fail-stop); restore() binds a
 // fresh listener.
 //
+// All sockets are driven by one per-bus EpollLoop reactor thread
+// (src/net/epoll_loop.hpp).  Connects carry a timeout, and a failed link
+// enters a jittered exponential-backoff reconnect schedule: sends during
+// the backoff window are dropped immediately instead of re-attempting the
+// connect, so a dead destination costs at most one connect timeout --
+// this is what bounds the publisher's measured fail-over time x.
+//
 // Unlike InprocBus there is no latency shaping — frames travel at real
 // loopback speed.  Use it to run the FRAME deployment in its real
 // multi-socket shape; use InprocBus to model WAN/LAN latency spreads.
@@ -18,7 +25,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/time.hpp"
+#include "net/backoff.hpp"
 #include "net/bus.hpp"
+#include "net/epoll_loop.hpp"
 #include "net/tcp.hpp"
 
 namespace frame {
@@ -33,6 +43,8 @@ class TcpBus final : public Bus {
 
   void register_endpoint(NodeId node, Handler handler) override;
   void send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) override;
+  Status try_send(NodeId from, NodeId to,
+                  std::vector<std::uint8_t> frame) override;
   void crash(NodeId node) override;
   void restore(NodeId node) override;
   bool crashed(NodeId node) const override;
@@ -41,24 +53,49 @@ class TcpBus final : public Bus {
   /// The TCP port a node listens on (0 if unknown/crashed); for tests.
   std::uint16_t port_of(NodeId node) const;
 
+  /// Upper bound on one connect attempt (default 250 ms).
+  void set_connect_timeout(Duration timeout);
+
+  /// Reconnect backoff for failed outgoing links.
+  void set_backoff(BackoffSchedule::Options options);
+
+  /// Per-connection outbound queue cap in bytes (backpressure threshold).
+  void set_send_queue_limit(std::size_t bytes);
+
  private:
+  /// Reconnect state of one outgoing link.
+  struct Link {
+    std::unique_ptr<TcpConnection> conn;
+    std::unique_ptr<BackoffSchedule> backoff;
+    TimePoint next_attempt = 0;  ///< earliest re-connect time after failure
+  };
+
   struct Endpoint {
     Handler handler;
     std::unique_ptr<TcpListener> listener;
     std::uint16_t port = 0;
     bool crashed = false;
-    /// Outgoing connections keyed by destination node.
-    std::unordered_map<NodeId, std::unique_ptr<TcpConnection>> out;
-    /// Accepted (incoming) connections, kept alive until crash/shutdown.
+    /// Outgoing links keyed by destination node.
+    std::unordered_map<NodeId, Link> out;
+    /// Accepted (incoming) connections, kept alive until crash/shutdown;
+    /// dead ones are pruned on the next accept.
     std::vector<std::unique_ptr<TcpConnection>> in;
   };
 
   Status open_listener(NodeId node);
-  TcpConnection* outgoing_locked(NodeId from, NodeId to);
+  TcpConnection* outgoing_locked(NodeId from, NodeId to, Status* why);
+
+  // Destroyed last (members destruct in reverse order): every connection
+  // and listener above must deregister from the loop before it dies.
+  EpollLoop loop_;
 
   mutable std::mutex mutex_;
   std::unordered_map<NodeId, Endpoint> endpoints_;
   bool shutdown_ = false;
+  Duration connect_timeout_ = milliseconds(250);
+  BackoffSchedule::Options backoff_options_;
+  std::size_t send_queue_limit_ = TcpConnection::kDefaultSendQueueLimit;
+  MonotonicClock clock_;
 };
 
 }  // namespace frame

@@ -141,6 +141,68 @@ void tcp_frame_sent_slow(std::size_t bytes) {
   sent_bytes.add(bytes);
 }
 
+void tcp_frame_received_slow(std::size_t bytes) {
+  static Counter& frames =
+      registry().counter("frame_tcp_frames_received_total");
+  frames.add();
+  (void)bytes;
+}
+
+void tcp_bytes_received_slow(std::size_t bytes) {
+  static Counter& received =
+      registry().counter("frame_tcp_bytes_received_total");
+  received.add(bytes);
+}
+
+void tcp_batch_written_slow(std::size_t frames, std::size_t bytes) {
+  static Counter& batches = registry().counter("frame_tcp_writev_calls_total");
+  static Counter& batched =
+      registry().counter("frame_tcp_batched_frames_total");
+  static Counter& wire_bytes =
+      registry().counter("frame_tcp_wire_bytes_written_total");
+  batches.add();
+  batched.add(frames);
+  wire_bytes.add(bytes);
+}
+
+void tcp_send_queue_depth_slow(std::size_t bytes) {
+  static Gauge& depth = registry().gauge("frame_tcp_send_queue_bytes");
+  static Gauge& peak = registry().gauge("frame_tcp_send_queue_bytes_peak");
+  depth.set(static_cast<std::int64_t>(bytes));
+  peak.set_max(static_cast<std::int64_t>(bytes));
+}
+
+void tcp_reconnect_attempt_slow() {
+  static Counter& attempts =
+      registry().counter("frame_tcp_reconnect_attempts_total");
+  attempts.add();
+}
+
+void tcp_connect_latency_slow(Duration latency) {
+  static LatencyRecorder& connect =
+      registry().latency("frame_tcp_connect_latency_ns");
+  if (latency >= 0) connect.record(static_cast<double>(latency));
+}
+
+void tcp_backpressure_drop_slow() {
+  static Counter& drops =
+      registry().counter("frame_tcp_backpressure_drops_total");
+  drops.add();
+}
+
+void tcp_protocol_error_slow() {
+  static Counter& errors =
+      registry().counter("frame_tcp_protocol_errors_total");
+  errors.add();
+}
+
+void send_backpressure_slow(NodeId node) {
+  static Counter& sheds =
+      registry().counter("frame_runtime_send_backpressure_total");
+  sheds.add();
+  (void)node;
+}
+
 void crash_injected_slow(NodeId node, TimePoint now) {
   static Gauge& at = registry().gauge("frame_failover_crash_at_ns");
   at.set(now);

@@ -87,6 +87,15 @@ void replication_cancelled_drop_slow();
 void backup_replica_stored_slow(TopicId topic, TimePoint now);
 void backup_prune_applied_slow(TopicId topic);
 void tcp_frame_sent_slow(std::size_t bytes);
+void tcp_frame_received_slow(std::size_t bytes);
+void tcp_bytes_received_slow(std::size_t bytes);
+void tcp_batch_written_slow(std::size_t frames, std::size_t bytes);
+void tcp_send_queue_depth_slow(std::size_t bytes);
+void tcp_reconnect_attempt_slow();
+void tcp_connect_latency_slow(Duration latency);
+void tcp_backpressure_drop_slow();
+void tcp_protocol_error_slow();
+void send_backpressure_slow(NodeId node);
 void crash_injected_slow(NodeId node, TimePoint now);
 void failover_detected_slow(NodeId node, TimePoint now);
 void promotion_complete_slow(NodeId node, TimePoint now,
@@ -164,6 +173,51 @@ inline void backup_prune_applied(TopicId topic) {
 /// TCP bus egress.
 inline void tcp_frame_sent(std::size_t bytes) {
   if (enabled()) detail::tcp_frame_sent_slow(bytes);
+}
+
+/// TCP transport ingress: one reassembled frame (header included).
+inline void tcp_frame_received(std::size_t bytes) {
+  if (enabled()) detail::tcp_frame_received_slow(bytes);
+}
+
+/// Raw bytes drained from a socket by the reactor.
+inline void tcp_bytes_received(std::size_t bytes) {
+  if (enabled()) detail::tcp_bytes_received_slow(bytes);
+}
+
+/// One writev flushed `frames` complete frames (`bytes` on the wire).
+inline void tcp_batch_written(std::size_t frames, std::size_t bytes) {
+  if (enabled()) detail::tcp_batch_written_slow(frames, bytes);
+}
+
+/// Outbound queue depth (bytes) of a connection after enqueue/flush.
+inline void tcp_send_queue_depth(std::size_t bytes) {
+  if (enabled()) detail::tcp_send_queue_depth_slow(bytes);
+}
+
+/// A client link retried its connect after a failure (backoff expired).
+inline void tcp_reconnect_attempt() {
+  if (enabled()) detail::tcp_reconnect_attempt_slow();
+}
+
+/// Wall time one successful connect() took, handshake included.
+inline void tcp_connect_latency(Duration latency) {
+  if (enabled()) detail::tcp_connect_latency_slow(latency);
+}
+
+/// A frame was rejected at the send side because the queue is full.
+inline void tcp_backpressure_drop() {
+  if (enabled()) detail::tcp_backpressure_drop_slow();
+}
+
+/// A peer violated the wire protocol (e.g. oversized frame).
+inline void tcp_protocol_error() {
+  if (enabled()) detail::tcp_protocol_error_slow();
+}
+
+/// The runtime observed kCapacity from Bus::try_send (load shed).
+inline void send_backpressure(NodeId node) {
+  if (enabled()) detail::send_backpressure_slow(node);
 }
 
 // Failover timeline (runtime).  The measured x is derived as

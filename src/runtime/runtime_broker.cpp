@@ -52,7 +52,11 @@ void RuntimeBroker::subscribe(TopicId topic, NodeId subscriber) {
   auto& proxy = channel_.obtain_push_supplier(subscriber);
   if (!proxy.connected()) {
     proxy.connect([this, subscriber](const eventsvc::Event& event) {
-      bus_.send(options_.node, subscriber, event.payload);
+      const Status sent =
+          bus_.try_send(options_.node, subscriber, event.payload);
+      if (sent.code() == StatusCode::kCapacity) {
+        obs::hooks::send_backpressure(options_.node);
+      }
     });
   }
 }

@@ -86,8 +86,15 @@ void RuntimePublisher::run_loop() {
 
     if (now >= next_batch) {
       for (const auto& msg : engine_->create_batch(now)) {
-        bus_.send(options_.node, target_.load(std::memory_order_acquire),
-                  encode_message_frame(WireType::kPublish, msg));
+        const Status sent = bus_.try_send(
+            options_.node, target_.load(std::memory_order_acquire),
+            encode_message_frame(WireType::kPublish, msg));
+        if (sent.code() == StatusCode::kCapacity) {
+          // Transport backpressure: the wire cannot absorb this batch.
+          // The message stays in the retention buffer; count the shed so
+          // capacity planning can see it.
+          obs::hooks::send_backpressure(options_.node);
+        }
       }
       next_batch += period;
     }

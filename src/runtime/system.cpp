@@ -15,7 +15,9 @@ EdgeSystem::EdgeSystem(SystemOptions options, std::vector<ProxyGroup> proxies)
     inproc_ = inproc.get();
     bus_ = std::move(inproc);
   } else {
-    bus_ = std::make_unique<TcpBus>();
+    auto tcp = std::make_unique<TcpBus>();
+    tcp->set_connect_timeout(options_.connect_timeout);
+    bus_ = std::move(tcp);
   }
   // Collect the dense topic table.
   for (const auto& proxy : proxies) {

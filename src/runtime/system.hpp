@@ -36,6 +36,9 @@ struct SystemOptions {
   Duration publisher_latency = microseconds(200);
   Duration detector_poll = milliseconds(10);
   int detector_misses = 3;
+  /// TCP transport only: cap on one connect attempt.  Bounds the time a
+  /// publisher can lose to a dead Primary address during fail-over.
+  Duration connect_timeout = milliseconds(250);
 };
 
 /// Node-id layout of the assembled system.

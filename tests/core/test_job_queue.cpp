@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "core/job_queue.hpp"
+#include "obs/obs.hpp"
 
 namespace frame {
 namespace {
@@ -157,6 +158,50 @@ TEST_P(JobQueueProperty, RandomCancellationsDropExactlyMatchingReplicas) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JobQueueProperty,
                          ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+// Regression: cancelled-replication drops (and clear()) used to bypass the
+// depth hook, so frame_job_queue_depth went stale until the next push/pop.
+TEST(JobQueue, DepthGaugeTracksCancelledDropsAndClear) {
+  obs::EnabledScope scope(true);
+  obs::reset_all();
+  auto& gauge = obs::registry().gauge("frame_job_queue_depth");
+
+  JobQueue queue(SchedulingPolicy::kEdf);
+  for (SeqNo seq = 1; seq <= 3; ++seq) {
+    queue.push(make_job(JobKind::kReplicate, 1, seq, milliseconds(seq), seq));
+  }
+  queue.push(make_job(JobKind::kDispatch, 1, 4, milliseconds(4), 4));
+  EXPECT_EQ(gauge.value(), 4);
+
+  // Two cancelled replicate jobs are dropped lazily by the next pop; the
+  // gauge must follow the heap through every drop.
+  queue.cancel_replication(1, 1);
+  queue.cancel_replication(1, 2);
+  const auto job = queue.pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->seq, 3u);
+  EXPECT_EQ(queue.raw_size(), 1u);
+  EXPECT_EQ(gauge.value(), static_cast<std::int64_t>(queue.raw_size()));
+
+  queue.clear();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+// peek() also performs lazy drops; a fully-cancelled queue must report
+// depth 0 after a peek even though no pop ever ran.
+TEST(JobQueue, DepthGaugeTracksDropsDuringPeek) {
+  obs::EnabledScope scope(true);
+  obs::reset_all();
+  auto& gauge = obs::registry().gauge("frame_job_queue_depth");
+
+  JobQueue queue(SchedulingPolicy::kEdf);
+  queue.push(make_job(JobKind::kReplicate, 2, 9, milliseconds(1), 1));
+  EXPECT_EQ(gauge.value(), 1);
+  queue.cancel_replication(2, 9);
+  EXPECT_FALSE(queue.peek().has_value());
+  EXPECT_EQ(queue.raw_size(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+}
 
 }  // namespace
 }  // namespace frame
