@@ -2,8 +2,10 @@
 # Configure, build, and run the full test suite in one step.
 #
 #   scripts/check.sh                 # plain build into build/
-#   FRAME_SANITIZE=thread scripts/check.sh    # TSan build into build-tsan/
-#   FRAME_SANITIZE=address scripts/check.sh   # ASan+UBSan into build-asan/
+#   FRAME_SANITIZE=thread scripts/check.sh     # TSan build into build-tsan/
+#   FRAME_SANITIZE=address scripts/check.sh    # ASan+UBSan into build-asan/
+#   FRAME_SANITIZE=undefined scripts/check.sh  # UBSan into build-ubsan/
+#   FRAME_CHAOS=1 scripts/check.sh   # chaos suite under ASan and TSan
 #
 # Extra arguments are forwarded to ctest, e.g.
 #   scripts/check.sh -R Obs          # only the observability tests
@@ -12,11 +14,28 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize="${FRAME_SANITIZE:-}"
 
+# Chaos mode: build the chaos suite under both ASan(+UBSan) and TSan and
+# run it with fixed seeds, so every scheduled fault scenario is exercised
+# with memory and race checking.  Seeds can be widened via FRAME_CHAOS_SEED.
+if [[ "${FRAME_CHAOS:-0}" == "1" ]]; then
+  for sanitize in address thread; do
+    build_dir="$repo/build-$([[ $sanitize == address ]] && echo asan || echo tsan)"
+    echo "--- chaos suite under $sanitize sanitizer ---"
+    cmake -B "$build_dir" -S "$repo" -DFRAME_SANITIZE="$sanitize"
+    cmake --build "$build_dir" -j "$(nproc)" --target test_chaos
+    "$build_dir/tests/test_chaos" "$@"
+  done
+  echo "chaos suite: OK"
+  exit 0
+fi
+
 case "$sanitize" in
-  "")       build_dir="$repo/build" ;;
-  thread)   build_dir="$repo/build-tsan" ;;
-  address)  build_dir="$repo/build-asan" ;;
-  *) echo "error: FRAME_SANITIZE must be empty, 'thread', or 'address'" >&2
+  "")        build_dir="$repo/build" ;;
+  thread)    build_dir="$repo/build-tsan" ;;
+  address)   build_dir="$repo/build-asan" ;;
+  undefined) build_dir="$repo/build-ubsan" ;;
+  *) echo "error: FRAME_SANITIZE must be empty, 'thread', 'address', or" \
+          "'undefined'" >&2
      exit 2 ;;
 esac
 

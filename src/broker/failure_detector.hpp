@@ -5,6 +5,24 @@
 // The detector is passive: the driver sends kPoll frames on its schedule,
 // feeds replies in via on_reply(), and asks suspected() on each tick.  The
 // publishers run the same logic with their own timeout x.
+//
+// Ordering contract (relied on by RuntimeBroker's detector loop and pinned
+// by tests/broker/test_failure_detector.cpp):
+//   * Before start(), suspected() is false at any time — an unarmed
+//     detector never accuses.  start(now) counts as a proof of life, so
+//     the earliest possible suspicion is start + period * miss + 1ns.
+//   * on_reply() is monotone: a stale timestamp (older than the current
+//     proof of life) never regresses the detector, so replaying a cached
+//     last-reply time after start() is harmless.  on_reply() before
+//     start() records the proof of life but still reports unsuspected
+//     until armed.
+//   * suspected() flips exactly when now - last_proof > period * miss,
+//     and flips back if a fresh reply arrives later (a restarted peer
+//     un-suspects itself; promotion is the caller's one-way decision).
+//   * detection_bound() = period * (miss + 1) bounds the wall time from a
+//     real crash to suspicion under the polling schedule: the crash can
+//     land right after a poll answered (one period of grace) plus `miss`
+//     unanswered periods.  It is the x to use in the paper's analysis.
 #pragma once
 
 #include "common/time.hpp"

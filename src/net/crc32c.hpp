@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli) frame checksum.
+//
+// Every wire frame carries a trailing CRC32C over its body so that a
+// corrupted or truncated frame is detected before any decoder runs
+// (reflected polynomial 0x82F63B78, init/final-xor 0xFFFFFFFF — the same
+// parameterisation as SSE4.2 crc32 and iSCSI).  Table-driven, one byte per
+// step: frames are tens of bytes, so the table walk is noise next to the
+// syscall and queueing costs around it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace frame {
+
+/// CRC32C of `data`, optionally chained from a previous partial `crc`.
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t crc = 0);
+
+}  // namespace frame

@@ -1,0 +1,228 @@
+#include "net/faulty_bus.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace frame {
+
+namespace {
+
+bool node_matches(NodeId pattern, NodeId node) {
+  return pattern == kAnyNode || pattern == node;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kBlackhole:
+      return "blackhole";
+    case FaultKind::kPartition:
+      return "partition";
+  }
+  return "unknown";
+}
+
+FaultyBus::FaultyBus(std::unique_ptr<Bus> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  rules_.reserve(plan_.rules.size());
+  for (const auto& rule : plan_.rules) rules_.push_back(ArmedRule{rule});
+  releaser_ = std::thread([this] { release_loop(); });
+}
+
+FaultyBus::~FaultyBus() { shutdown(); }
+
+void FaultyBus::register_endpoint(NodeId node, Handler handler) {
+  inner_->register_endpoint(node, std::move(handler));
+}
+
+void FaultyBus::send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) {
+  (void)try_send(from, to, std::move(frame));
+}
+
+Status FaultyBus::try_send(NodeId from, NodeId to,
+                           std::vector<std::uint8_t> frame) {
+  Verdict verdict;
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return Status(StatusCode::kClosed, "faulty bus shut down");
+    verdict = apply_rules_locked(from, to, frame);
+    if (verdict.drop) {
+      // The transport accepted the frame; the (scripted) network lost it.
+      return Status::ok();
+    }
+    if (verdict.hold > 0) {
+      hold_frame_locked(from, to, std::move(frame), verdict.hold);
+      return Status::ok();
+    }
+  }
+  for (int copy = 0; copy < verdict.extra_copies; ++copy) {
+    inner_->send(from, to, frame);
+  }
+  return inner_->try_send(from, to, std::move(frame));
+}
+
+void FaultyBus::crash(NodeId node) { inner_->crash(node); }
+
+void FaultyBus::restore(NodeId node) { inner_->restore(node); }
+
+bool FaultyBus::crashed(NodeId node) const { return inner_->crashed(node); }
+
+void FaultyBus::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (releaser_.joinable()) releaser_.join();
+  inner_->shutdown();
+}
+
+std::size_t FaultyBus::add_rule(const FaultRule& rule) {
+  std::lock_guard lock(mutex_);
+  rules_.push_back(ArmedRule{rule});
+  return rules_.size() - 1;
+}
+
+void FaultyBus::retire_rule(std::size_t id) {
+  std::lock_guard lock(mutex_);
+  if (id < rules_.size()) rules_[id].retired = true;
+}
+
+void FaultyBus::clear_rules() {
+  std::lock_guard lock(mutex_);
+  for (auto& armed : rules_) armed.retired = true;
+}
+
+FaultyBus::Verdict FaultyBus::apply_rules_locked(
+    NodeId from, NodeId to, std::vector<std::uint8_t>& frame) {
+  Verdict verdict;
+  const TimePoint at = clock_.now();
+  for (auto& armed : rules_) {
+    const FaultRule& rule = armed.rule;
+    if (armed.retired) continue;
+    if (at < rule.start || at >= rule.stop) continue;
+    bool matches = node_matches(rule.from, from) && node_matches(rule.to, to);
+    if (!matches && rule.kind == FaultKind::kPartition) {
+      matches = node_matches(rule.from, to) && node_matches(rule.to, from);
+    }
+    if (!matches) continue;
+    if (rule.type_tag.has_value() &&
+        (frame.empty() || frame[0] != *rule.type_tag)) {
+      continue;
+    }
+    Rng& rng = link_rng_locked(from, to);
+    if (rule.probability < 1.0 && rng.next_double() >= rule.probability) {
+      continue;
+    }
+
+    armed.fired += 1;
+    if (rule.max_count != 0 && armed.fired >= rule.max_count) {
+      armed.retired = true;
+    }
+    count(rule.kind);
+
+    switch (rule.kind) {
+      case FaultKind::kDrop:
+      case FaultKind::kBlackhole:
+      case FaultKind::kPartition:
+        verdict.drop = true;
+        return verdict;
+      case FaultKind::kDelay:
+      case FaultKind::kReorder: {
+        Duration hold = rule.delay;
+        if (rule.delay_jitter > 0) {
+          hold += static_cast<Duration>(
+              rng.next_below(static_cast<std::uint64_t>(rule.delay_jitter)));
+        }
+        verdict.hold = hold > 0 ? hold : nanoseconds(1);
+        return verdict;
+      }
+      case FaultKind::kDuplicate:
+        verdict.extra_copies = rule.copies > 0 ? rule.copies : 1;
+        return verdict;
+      case FaultKind::kCorrupt: {
+        if (!frame.empty()) {
+          const std::size_t pos = rng.next_below(frame.size());
+          frame[pos] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+        }
+        verdict.mutate = true;
+        return verdict;
+      }
+      case FaultKind::kTruncate: {
+        if (frame.size() > 1) {
+          frame.resize(1 + rng.next_below(frame.size() - 1));
+        }
+        verdict.mutate = true;
+        return verdict;
+      }
+    }
+  }
+  return verdict;
+}
+
+Rng& FaultyBus::link_rng_locked(NodeId from, NodeId to) {
+  const std::uint64_t link =
+      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+  auto it = link_rngs_.find(link);
+  if (it == link_rngs_.end()) {
+    // Stream seed depends only on (plan seed, from, to): a link's draw
+    // sequence is fixed regardless of how other links' traffic interleaves.
+    std::uint64_t state = plan_.seed;
+    std::uint64_t mixed = splitmix64(state) ^ link;
+    it = link_rngs_.emplace(link, Rng(splitmix64(mixed))).first;
+  }
+  return it->second;
+}
+
+void FaultyBus::count(FaultKind kind) {
+  injected_[static_cast<std::size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  obs::hooks::fault_injected(static_cast<std::uint8_t>(kind));
+}
+
+void FaultyBus::hold_frame_locked(NodeId from, NodeId to,
+                                  std::vector<std::uint8_t> frame,
+                                  Duration hold) {
+  held_.push(Held{time_add(clock_.now(), hold), next_order_++, from, to,
+                  std::move(frame)});
+  cv_.notify_one();
+}
+
+void FaultyBus::release_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (stop_) return;
+    if (held_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !held_.empty(); });
+      continue;
+    }
+    const TimePoint due = held_.top().due;
+    const TimePoint at = clock_.now();
+    if (at < due) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(due - at));
+      continue;
+    }
+    Held held = std::move(const_cast<Held&>(held_.top()));
+    held_.pop();
+    lock.unlock();
+    inner_->send(held.from, held.to, std::move(held.frame));
+    lock.lock();
+  }
+}
+
+}  // namespace frame

@@ -1,0 +1,176 @@
+// Deterministic fault-injection decorator over any Bus.
+//
+// FaultyBus sits between the runtime endpoints and a real transport
+// (InprocBus or TcpBus) and applies a scripted, seeded FaultPlan to every
+// frame on its way out: drop, delay, duplicate, reorder, corrupt, truncate,
+// one-way blackhole and full (bidirectional) partition.  Rules carry
+// start/stop windows on the bus clock and optional per-frame-type and
+// fire-count limits, so a chaos scenario — "drop exactly Li consecutive
+// publishes of this publisher starting at t=300 ms" — is scripted up front
+// or injected mid-run and replays identically from a single RNG seed.
+//
+// Determinism: random decisions (probability draws, corrupt byte choice,
+// jitter) come from a per-directed-link xoshiro stream seeded as
+// splitmix(plan.seed, from, to).  A link's fault sequence therefore depends
+// only on the plan seed and that link's own frame order, not on how the
+// scheduler interleaves other links' traffic.
+//
+// Fault taxonomy vs the paper's symbols (DESIGN.md §9): faults on
+// publisher→Primary links perturb ΔPB; Primary→Backup faults perturb ΔBB;
+// broker→subscriber faults perturb ΔBS; partitioning or blackholing a
+// broker forces the detector/fail-over path and so exercises x.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "net/bus.hpp"
+
+namespace frame {
+
+/// Wildcard for FaultRule::from / FaultRule::to.
+inline constexpr NodeId kAnyNode = kInvalidNode;
+
+enum class FaultKind : std::uint8_t {
+  kDrop = 0,       ///< frame silently lost
+  kDelay,          ///< frame held for delay (+ jitter), then forwarded
+  kDuplicate,      ///< frame forwarded, plus `copies` extra copies
+  kReorder,        ///< frame held so later frames overtake it
+  kCorrupt,        ///< random payload bytes flipped (checksum will catch)
+  kTruncate,       ///< frame cut to a random prefix
+  kBlackhole,      ///< one-way loss: matches the (from, to) direction only
+  kPartition,      ///< two-way loss: matches (from, to) and (to, from)
+};
+inline constexpr std::size_t kFaultKindCount = 8;
+
+const char* to_string(FaultKind kind);
+
+/// One scripted fault.  A frame is tested against the rules in order; the
+/// first active, matching rule whose probability draw fires claims the
+/// frame (later rules are not consulted for it).
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  NodeId from = kAnyNode;  ///< sender match (kAnyNode = wildcard)
+  NodeId to = kAnyNode;    ///< destination match (kAnyNode = wildcard)
+  /// Active window [start, stop) on the bus clock (FaultyBus::now()).
+  TimePoint start = 0;
+  TimePoint stop = kTimeNever;
+  /// Per-frame fire probability within the window.
+  double probability = 1.0;
+  /// Rule retires after firing this many times (0 = unlimited).
+  std::uint64_t max_count = 0;
+  /// Restrict to frames whose first byte equals this WireType tag.
+  std::optional<std::uint8_t> type_tag;
+  /// kDelay / kReorder hold time, plus uniform extra in [0, delay_jitter).
+  Duration delay = milliseconds(5);
+  Duration delay_jitter = 0;
+  /// kDuplicate: number of extra copies.
+  int copies = 1;
+};
+
+/// A seeded fault script: the complete description of one adversarial
+/// network, replayable from `seed`.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+};
+
+class FaultyBus final : public Bus {
+ public:
+  FaultyBus(std::unique_ptr<Bus> inner, FaultPlan plan);
+  ~FaultyBus() override;
+
+  FaultyBus(const FaultyBus&) = delete;
+  FaultyBus& operator=(const FaultyBus&) = delete;
+
+  void register_endpoint(NodeId node, Handler handler) override;
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) override;
+  Status try_send(NodeId from, NodeId to,
+                  std::vector<std::uint8_t> frame) override;
+  void crash(NodeId node) override;
+  void restore(NodeId node) override;
+  bool crashed(NodeId node) const override;
+  void shutdown() override;
+
+  /// Adds a rule mid-run (chaos scripting); returns its id.
+  std::size_t add_rule(const FaultRule& rule);
+
+  /// Retires one rule (heals that fault) / every rule.
+  void retire_rule(std::size_t id);
+  void clear_rules();
+
+  /// The clock rule windows are scripted against (0 = construction time).
+  TimePoint now() const { return clock_.now(); }
+
+  /// Total faults injected per kind, regardless of obs state; for tests.
+  std::uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+
+  Bus& inner() { return *inner_; }
+
+ private:
+  struct ArmedRule {
+    FaultRule rule;
+    std::uint64_t fired = 0;
+    bool retired = false;
+  };
+  struct Held {
+    TimePoint due;
+    std::uint64_t order;
+    NodeId from;
+    NodeId to;
+    std::vector<std::uint8_t> frame;
+  };
+  struct HeldLater {
+    bool operator()(const Held& a, const Held& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.order > b.order;
+    }
+  };
+
+  /// The action decided for one frame under the lock.
+  struct Verdict {
+    bool drop = false;
+    Duration hold = 0;   ///< forward after this delay (0 = immediately)
+    int extra_copies = 0;
+    bool mutate = false;  ///< frame was corrupted/truncated in place
+  };
+
+  Verdict apply_rules_locked(NodeId from, NodeId to,
+                             std::vector<std::uint8_t>& frame);
+  Rng& link_rng_locked(NodeId from, NodeId to);
+  void count(FaultKind kind);
+  void hold_frame_locked(NodeId from, NodeId to,
+                         std::vector<std::uint8_t> frame, Duration hold);
+  void release_loop();
+
+  std::unique_ptr<Bus> inner_;
+  MonotonicClock clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  FaultPlan plan_;
+  std::vector<ArmedRule> rules_;
+  std::unordered_map<std::uint64_t, Rng> link_rngs_;
+  std::priority_queue<Held, std::vector<Held>, HeldLater> held_;
+  std::uint64_t next_order_ = 0;
+  bool stop_ = false;
+  std::array<std::atomic<std::uint64_t>, kFaultKindCount> injected_{};
+  std::thread releaser_;
+};
+
+}  // namespace frame

@@ -1,6 +1,7 @@
 #include "net/wire.hpp"
 
 #include "net/codec.hpp"
+#include "net/crc32c.hpp"
 
 namespace frame {
 
@@ -20,7 +21,33 @@ bool type_carries_message(WireType type) {
   }
 }
 
+/// Appends the CRC32C of everything written so far.
+void seal(std::vector<std::uint8_t>& out) {
+  Writer(out).u32(crc32c(out));
+}
+
+/// Checksum-verified frame body (tag + fields, checksum stripped), or
+/// nullopt when the frame is too short or the CRC mismatches.
+std::optional<std::span<const std::uint8_t>> body_of(
+    std::span<const std::uint8_t> buf) {
+  if (!frame_checksum_ok(buf)) return std::nullopt;
+  return buf.first(buf.size() - kFrameChecksumSize);
+}
+
 }  // namespace
+
+bool frame_checksum_ok(std::span<const std::uint8_t> buf) {
+  if (buf.size() < kFrameChecksumSize + 1) return false;
+  const auto body = buf.first(buf.size() - kFrameChecksumSize);
+  Reader tail(buf.subspan(body.size()));
+  return tail.u32() == crc32c(body);
+}
+
+Status validate_frame(std::span<const std::uint8_t> buf) {
+  if (frame_checksum_ok(buf)) return Status::ok();
+  return Status(StatusCode::kProtocolError,
+                "frame checksum mismatch or truncated frame");
+}
 
 std::vector<std::uint8_t> encode_message_frame(WireType type,
                                                const Message& msg) {
@@ -35,6 +62,7 @@ std::vector<std::uint8_t> encode_message_frame(WireType type,
   w.i64(msg.dispatched_at);
   w.u8(msg.recovered ? kMessageFlagRecovered : 0);
   w.blob16(msg.payload.data(), msg.payload_size);
+  seal(out);
   return out;
 }
 
@@ -45,6 +73,7 @@ std::vector<std::uint8_t> encode_prune_frame(const PruneFrame& frame) {
   w.u8(static_cast<std::uint8_t>(WireType::kPrune));
   w.u32(frame.topic);
   w.u64(frame.seq);
+  seal(out);
   return out;
 }
 
@@ -55,6 +84,7 @@ std::vector<std::uint8_t> encode_subscribe_frame(const SubscribeFrame& frame) {
   w.u8(static_cast<std::uint8_t>(WireType::kSubscribe));
   w.u32(frame.subscriber);
   w.u32(frame.topic);
+  seal(out);
   return out;
 }
 
@@ -65,11 +95,14 @@ std::vector<std::uint8_t> encode_hello_frame(const HelloFrame& frame) {
   w.u8(static_cast<std::uint8_t>(WireType::kHello));
   w.u32(frame.node);
   w.u8(frame.role);
+  seal(out);
   return out;
 }
 
 std::vector<std::uint8_t> encode_control_frame(WireType type) {
-  return {static_cast<std::uint8_t>(type)};
+  std::vector<std::uint8_t> out{static_cast<std::uint8_t>(type)};
+  seal(out);
+  return out;
 }
 
 std::optional<WireType> peek_type(std::span<const std::uint8_t> buf) {
@@ -78,7 +111,9 @@ std::optional<WireType> peek_type(std::span<const std::uint8_t> buf) {
 }
 
 std::optional<Message> decode_message_frame(std::span<const std::uint8_t> buf) {
-  Reader r(buf);
+  const auto body = body_of(buf);
+  if (!body.has_value()) return std::nullopt;
+  Reader r(*body);
   const auto type = static_cast<WireType>(r.u8());
   if (!type_carries_message(type)) return std::nullopt;
   Message msg;
@@ -96,7 +131,9 @@ std::optional<Message> decode_message_frame(std::span<const std::uint8_t> buf) {
 
 std::optional<PruneFrame> decode_prune_frame(
     std::span<const std::uint8_t> buf) {
-  Reader r(buf);
+  const auto body = body_of(buf);
+  if (!body.has_value()) return std::nullopt;
+  Reader r(*body);
   if (static_cast<WireType>(r.u8()) != WireType::kPrune) return std::nullopt;
   PruneFrame frame;
   frame.topic = r.u32();
@@ -107,7 +144,9 @@ std::optional<PruneFrame> decode_prune_frame(
 
 std::optional<SubscribeFrame> decode_subscribe_frame(
     std::span<const std::uint8_t> buf) {
-  Reader r(buf);
+  const auto body = body_of(buf);
+  if (!body.has_value()) return std::nullopt;
+  Reader r(*body);
   if (static_cast<WireType>(r.u8()) != WireType::kSubscribe) {
     return std::nullopt;
   }
@@ -120,7 +159,9 @@ std::optional<SubscribeFrame> decode_subscribe_frame(
 
 std::optional<HelloFrame> decode_hello_frame(
     std::span<const std::uint8_t> buf) {
-  Reader r(buf);
+  const auto body = body_of(buf);
+  if (!body.has_value()) return std::nullopt;
+  Reader r(*body);
   if (static_cast<WireType>(r.u8()) != WireType::kHello) return std::nullopt;
   HelloFrame frame;
   frame.node = r.u32();

@@ -1,8 +1,12 @@
 // Wire protocol for broker/publisher/subscriber traffic.
 //
-// Every frame is a WireType tag plus a type-specific body.  The same frames
-// flow over the in-process bus and the TCP transport; the simulator passes
-// typed structs directly and never serialises.
+// Every frame is a WireType tag plus a type-specific body plus a trailing
+// CRC32C over both (net/crc32c.hpp).  The same frames flow over the
+// in-process bus and the TCP transport; the simulator passes typed structs
+// directly and never serialises.  Decoders verify the checksum first, so a
+// corrupted or truncated frame yields nullopt instead of garbage fields;
+// endpoint drivers call frame_checksum_ok() / validate_frame() up front to
+// count the rejection (kProtocolError) before any dispatch on the type tag.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/result.hpp"
 #include "common/types.hpp"
 #include "net/message.hpp"
 
@@ -42,7 +47,20 @@ struct HelloFrame {
   std::uint8_t role = 0;  ///< broker::NodeRole value
 };
 
-/// Encodes frames; the WireType tag is the first byte of the buffer.
+/// Trailing checksum width appended by every encoder.
+inline constexpr std::size_t kFrameChecksumSize = 4;
+
+/// True iff `buf` is long enough to carry a checksum and its trailing
+/// CRC32C matches the body.  The cheap gate endpoint handlers run before
+/// dispatching on the type tag; decoders re-verify internally.
+bool frame_checksum_ok(std::span<const std::uint8_t> buf);
+
+/// frame_checksum_ok as a Status: kProtocolError (corrupt or truncated
+/// frame) or OK.  For callers with a status path to surface.
+Status validate_frame(std::span<const std::uint8_t> buf);
+
+/// Encodes frames; the WireType tag is the first byte of the buffer and a
+/// CRC32C of everything before it is the last four.
 std::vector<std::uint8_t> encode_message_frame(WireType type,
                                                const Message& msg);
 std::vector<std::uint8_t> encode_prune_frame(const PruneFrame& frame);

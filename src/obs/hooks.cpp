@@ -249,5 +249,55 @@ void retention_replay_slow(NodeId node, TimePoint now,
   span(SpanKind::kRetentionReplay, kInvalidTopic, 0, node, now);
 }
 
+void fault_injected_slow(std::uint8_t kind) {
+  // Indexed by FaultKind (net/faulty_bus.hpp); obs stays below net in the
+  // layering, so the names are spelled out here rather than derived.
+  static Counter* const by_kind[] = {
+      &registry().counter("frame_fault_injected_drop_total"),
+      &registry().counter("frame_fault_injected_delay_total"),
+      &registry().counter("frame_fault_injected_duplicate_total"),
+      &registry().counter("frame_fault_injected_reorder_total"),
+      &registry().counter("frame_fault_injected_corrupt_total"),
+      &registry().counter("frame_fault_injected_truncate_total"),
+      &registry().counter("frame_fault_injected_blackhole_total"),
+      &registry().counter("frame_fault_injected_partition_total"),
+  };
+  static Counter& other = registry().counter("frame_fault_injected_total");
+  other.add();
+  if (kind < sizeof(by_kind) / sizeof(by_kind[0])) by_kind[kind]->add();
+}
+
+void wire_corrupt_frame_slow(NodeId node) {
+  static Counter& rejected =
+      registry().counter("frame_wire_corrupt_rejected_total");
+  rejected.add();
+  (void)node;
+}
+
+void broker_duplicate_suppressed_slow(TopicId topic, SeqNo seq) {
+  static Counter& suppressed =
+      registry().counter("frame_broker_duplicates_suppressed_total");
+  suppressed.add();
+  (void)topic;
+  (void)seq;
+}
+
+void backup_lost_slow(NodeId node, TimePoint now) {
+  static Counter& losses = registry().counter("frame_backup_lost_total");
+  static Gauge& degraded = registry().gauge("frame_degraded_mode");
+  losses.add();
+  degraded.set(1);
+  span(SpanKind::kCrash, kInvalidTopic, 0, node, now);
+}
+
+void backup_joined_slow(NodeId node, TimePoint now) {
+  static Counter& joins = registry().counter("frame_backup_joined_total");
+  static Gauge& degraded = registry().gauge("frame_degraded_mode");
+  joins.add();
+  degraded.set(0);
+  (void)node;
+  (void)now;
+}
+
 }  // namespace detail
 }  // namespace frame::obs

@@ -103,6 +103,11 @@ void promotion_complete_slow(NodeId node, TimePoint now,
 void publisher_redirected_slow(NodeId node, TimePoint now);
 void retention_replay_slow(NodeId node, TimePoint now,
                            Duration replay_duration, std::size_t resent);
+void fault_injected_slow(std::uint8_t kind);
+void wire_corrupt_frame_slow(NodeId node);
+void broker_duplicate_suppressed_slow(TopicId topic, SeqNo seq);
+void backup_lost_slow(NodeId node, TimePoint now);
+void backup_joined_slow(NodeId node, TimePoint now);
 }  // namespace detail
 
 namespace hooks {
@@ -241,6 +246,35 @@ inline void retention_replay(NodeId node, TimePoint now,
   if (enabled()) {
     detail::retention_replay_slow(node, now, replay_duration, resent);
   }
+}
+
+/// FaultyBus injected a scripted fault; `kind` is the FaultKind value
+/// (net/faulty_bus.hpp) — one frame_fault_injected_<kind>_total counter
+/// per kind.
+inline void fault_injected(std::uint8_t kind) {
+  if (enabled()) detail::fault_injected_slow(kind);
+}
+
+/// An endpoint rejected an inbound frame whose CRC32C failed (corrupted
+/// or truncated on the wire); the frame never reached a decoder.
+inline void wire_corrupt_frame(NodeId node) {
+  if (enabled()) detail::wire_corrupt_frame_slow(node);
+}
+
+/// A broker suppressed a (topic, seq) it had already dispatched or queued
+/// for dispatch (retention-replay dedup at the promoted Backup).
+inline void broker_duplicate_suppressed(TopicId topic, SeqNo seq) {
+  if (enabled()) detail::broker_duplicate_suppressed_slow(topic, seq);
+}
+
+// Degraded-mode timeline: the Primary's detector lost / regained its
+// Backup.  While lost, replication is suspended and the degraded gauge
+// reads 1.
+inline void backup_lost(NodeId node, TimePoint now) {
+  if (enabled()) detail::backup_lost_slow(node, now);
+}
+inline void backup_joined(NodeId node, TimePoint now) {
+  if (enabled()) detail::backup_joined_slow(node, now);
 }
 
 }  // namespace hooks

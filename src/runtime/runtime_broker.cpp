@@ -63,11 +63,18 @@ void RuntimeBroker::subscribe(TopicId topic, NodeId subscriber) {
 
 void RuntimeBroker::start() {
   stop_.store(false, std::memory_order_release);
-  last_peer_reply_ = clock_.now();
+  {
+    // The bus endpoint is live from construction, so inbound frames may
+    // already be touching last_peer_reply_.
+    std::lock_guard lock(mutex_);
+    last_peer_reply_ = clock_.now();
+  }
   for (std::size_t i = 0; i < options_.delivery_threads; ++i) {
     delivery_pool_.emplace_back([this] { delivery_loop(); });
   }
-  if (!options_.start_as_primary) {
+  // Both roles watch their peer: the Backup to promote itself, the Primary
+  // to stop replicating to (and blocking on) a dead Backup.
+  if (options_.peer != kInvalidNode) {
     detector_ = std::thread([this] { detector_loop(); });
   }
 }
@@ -108,6 +115,13 @@ void RuntimeBroker::on_frame(NodeId from, std::vector<std::uint8_t> frame) {
       stop_.load(std::memory_order_acquire)) {
     return;
   }
+  // CRC32C gate: a corrupted or truncated frame is rejected before any
+  // dispatch on the type tag, so garbage never reaches an engine.
+  if (!frame_checksum_ok(frame)) {
+    corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
+    obs::hooks::wire_corrupt_frame(options_.node);
+    return;
+  }
   const auto type = peek_type(frame);
   if (!type.has_value()) return;
   switch (*type) {
@@ -138,6 +152,12 @@ void RuntimeBroker::on_frame(NodeId from, std::vector<std::uint8_t> frame) {
       break;
     }
     case WireType::kPoll: {
+      // An inbound poll is itself proof the peer is alive (a restarted
+      // Backup polls before its Hello settles).
+      if (from == options_.peer) {
+        std::lock_guard lock(mutex_);
+        if (clock_.now() > last_peer_reply_) last_peer_reply_ = clock_.now();
+      }
       bus_.send(options_.node, from,
                 encode_control_frame(WireType::kPollReply));
       break;
@@ -165,11 +185,18 @@ void RuntimeBroker::on_frame(NodeId from, std::vector<std::uint8_t> frame) {
         std::lock_guard lock(mutex_);
         if (primary_) sync = primary_->backup_sync_set();
         options_.peer = hello->node;
+        // The Hello is proof of life; without this the detector could
+        // re-suspect the new Backup before its first poll reply lands.
+        if (clock_.now() > last_peer_reply_) last_peer_reply_ = clock_.now();
       }
       for (const auto& msg : sync) {
         send_message(hello->node, WireType::kReplicate, msg);
       }
+      const bool was_degraded = !has_peer_.load(std::memory_order_acquire);
       has_peer_.store(true, std::memory_order_release);
+      if (was_degraded) {
+        obs::hooks::backup_joined(hello->node, clock_.now());
+      }
       FRAME_LOG_INFO("broker %u: backup %u joined, synced %zu copies",
                      options_.node, hello->node, sync.size());
       break;
@@ -189,10 +216,27 @@ void RuntimeBroker::on_publish_frame(const Message& msg) {
       if (backup_) backup_->on_replica(msg, clock_.now());
       return;
     }
+    // Retention-replay dedup: a kResend (or a duplicated kPublish) for a
+    // seq this broker already queued for dispatch must not double-deliver.
+    if (!mark_dispatched_locked(msg.topic, msg.seq)) {
+      duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      obs::hooks::broker_duplicate_suppressed(msg.topic, msg.seq);
+      return;
+    }
     primary_->on_publish(msg, clock_.now(),
                          has_peer_.load(std::memory_order_acquire));
   }
   job_cv_.notify_one();
+}
+
+bool RuntimeBroker::mark_dispatched_locked(TopicId topic, SeqNo seq) {
+  auto& bits = dispatched_bits_[topic];
+  const std::size_t word = static_cast<std::size_t>(seq / 64);
+  const std::uint64_t mask = 1ull << (seq % 64);
+  if (word >= bits.size()) bits.resize(word + 1, 0);
+  if (bits[word] & mask) return false;
+  bits[word] |= mask;
+  return true;
 }
 
 void RuntimeBroker::delivery_loop() {
@@ -251,18 +295,43 @@ void RuntimeBroker::detector_loop() {
   detector.start(clock_.now());
   while (!stop_.load(std::memory_order_acquire) &&
          !crashed_.load(std::memory_order_acquire)) {
-    bus_.send(options_.node, options_.peer,
-              encode_control_frame(WireType::kPoll));
+    NodeId peer;
+    {
+      std::lock_guard lock(mutex_);
+      peer = options_.peer;  // a Hello can repoint it mid-run
+    }
+    bus_.send(options_.node, peer, encode_control_frame(WireType::kPoll));
     std::this_thread::sleep_for(
         std::chrono::nanoseconds(options_.poll_period));
     {
       std::lock_guard lock(mutex_);
       detector.on_reply(last_peer_reply_);
     }
-    if (detector.suspected(clock_.now())) {
+    const bool suspected = detector.suspected(clock_.now());
+    if (is_primary()) {
+      // Primary side: a dead Backup means degraded mode — stop sending
+      // replicas/prunes into the void; resume when a peer proves life
+      // again (poll replies or a reintegration Hello).
+      const bool live = has_peer_.load(std::memory_order_acquire);
+      if (suspected && live) {
+        has_peer_.store(false, std::memory_order_release);
+        degraded_entries_.fetch_add(1, std::memory_order_relaxed);
+        obs::hooks::backup_lost(peer, clock_.now());
+        FRAME_LOG_INFO("broker %u: backup %u suspected dead, degraded mode",
+                       options_.node, peer);
+      } else if (!suspected && !live) {
+        has_peer_.store(true, std::memory_order_release);
+        obs::hooks::backup_joined(peer, clock_.now());
+        FRAME_LOG_INFO("broker %u: backup %u is back, replication resumed",
+                       options_.node, peer);
+      }
+    } else if (suspected) {
       obs::hooks::failover_detected(options_.node, clock_.now());
       promote();
-      return;
+      // Keep running: the promoted Primary now watches for a reintegrated
+      // Backup (and for its death in turn).  promote() left has_peer_
+      // false, so the next Hello or fresh reply flips us out of degraded.
+      detector.start(clock_.now());
     }
   }
 }
@@ -278,13 +347,21 @@ void RuntimeBroker::promote() {
       primary_->subscribe(topic, subscriber);
     }
     // Recovery: dispatch the pruned Backup Buffer set first (Section IV-A).
+    // Each copy is run through the dedup bitmap so the retention resends
+    // that follow promotion cannot re-admit a seq recovered here.
     const TimePoint now = clock_.now();
     const std::vector<Message> recovery = backup_->promote();
+    std::size_t recovered = 0;
     for (const auto& msg : recovery) {
+      if (!mark_dispatched_locked(msg.topic, msg.seq)) {
+        duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+        obs::hooks::broker_duplicate_suppressed(msg.topic, msg.seq);
+        continue;
+      }
       primary_->on_recovery_copy(msg, now);
+      recovered += 1;
     }
-    obs::hooks::promotion_complete(options_.node, clock_.now(),
-                                   recovery.size());
+    obs::hooks::promotion_complete(options_.node, clock_.now(), recovered);
     has_peer_.store(false, std::memory_order_release);
     is_primary_.store(true, std::memory_order_release);
   }
@@ -300,6 +377,9 @@ void RuntimeBroker::restart_as_backup(NodeId new_primary) {
     backup_->configure(topics_.size());
     options_.peer = new_primary;
     options_.start_as_primary = false;
+    // A restarted process has no dispatch history; the subscriber-side
+    // bitmap is the guard against cross-life duplicates.
+    dispatched_bits_.clear();
   }
   is_primary_.store(false, std::memory_order_release);
   has_peer_.store(false, std::memory_order_release);

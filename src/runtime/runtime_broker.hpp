@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "broker/backup_engine.hpp"
@@ -77,6 +78,28 @@ class RuntimeBroker {
   bool is_primary() const { return is_primary_.load(std::memory_order_acquire); }
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
+  /// False while the peer is suspected dead (degraded mode as Primary: no
+  /// replication or prunes are sent until the Backup reintegrates).
+  bool has_live_peer() const {
+    return has_peer_.load(std::memory_order_acquire);
+  }
+
+  /// Inbound frames rejected by the CRC32C gate before any decode.
+  std::uint64_t corrupt_frames() const {
+    return corrupt_frames_.load(std::memory_order_relaxed);
+  }
+
+  /// Admissions suppressed because this broker had already dispatched (or
+  /// queued for dispatch) that (topic, seq) — retention-replay dedup.
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_.load(std::memory_order_relaxed);
+  }
+
+  /// Times this broker, while Primary, declared its Backup dead.
+  std::uint64_t degraded_entries() const {
+    return degraded_entries_.load(std::memory_order_relaxed);
+  }
+
   PrimaryEngine::Stats primary_stats() const;
   BackupEngine::Stats backup_stats() const;
 
@@ -92,6 +115,13 @@ class RuntimeBroker {
   void promote();
   void send_message(NodeId to, WireType type, const Message& msg);
 
+  /// Records (topic, seq) as dispatched-or-queued at THIS broker; returns
+  /// false if it already was (the admission must be suppressed).  Only
+  /// tracks this broker's own dispatch decisions — never peer prunes: a
+  /// prune proves the PEER dispatched, and trusting it here would turn the
+  /// prune-applied/deliver-lost crash race into a permanent gap.
+  bool mark_dispatched_locked(TopicId topic, SeqNo seq);
+
   Bus& bus_;
   const MonotonicClock& clock_;
   Options options_;
@@ -105,12 +135,17 @@ class RuntimeBroker {
   std::unique_ptr<PrimaryEngine> primary_;
   std::unique_ptr<BackupEngine> backup_;
   std::vector<std::pair<TopicId, NodeId>> subscriptions_;
+  /// Per-topic bitmap of seqs this broker admitted for dispatch.
+  std::unordered_map<TopicId, std::vector<std::uint64_t>> dispatched_bits_;
 
   std::atomic<bool> is_primary_{false};
   std::atomic<bool> crashed_{false};
   std::atomic<bool> stop_{false};
   /// True while a live Backup peer exists (replication + prunes flow).
   std::atomic<bool> has_peer_{false};
+  std::atomic<std::uint64_t> corrupt_frames_{0};
+  std::atomic<std::uint64_t> duplicates_suppressed_{0};
+  std::atomic<std::uint64_t> degraded_entries_{0};
   TimePoint last_peer_reply_ = 0;
 
   std::vector<std::thread> delivery_pool_;

@@ -34,6 +34,12 @@ void RuntimePublisher::stop() {
 }
 
 void RuntimePublisher::on_frame(NodeId from, std::vector<std::uint8_t> frame) {
+  // A corrupted frame is not proof of life: only a checksum-clean
+  // kPollReply from the current target feeds the failure detector.
+  if (!frame_checksum_ok(frame)) {
+    obs::hooks::wire_corrupt_frame(options_.node);
+    return;
+  }
   if (from == target_.load(std::memory_order_acquire) &&
       peek_type(frame) == WireType::kPollReply) {
     last_target_reply_.store(clock_.now(), std::memory_order_release);

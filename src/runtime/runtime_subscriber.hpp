@@ -3,6 +3,7 @@
 // accounting (dedup, loss runs, deadline checks).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 
@@ -10,13 +11,16 @@
 #include "common/time.hpp"
 #include "net/bus.hpp"
 #include "net/wire.hpp"
+#include "obs/obs.hpp"
 
 namespace frame::runtime {
 
 class RuntimeSubscriber {
  public:
   RuntimeSubscriber(Bus& bus, const MonotonicClock& clock, NodeId node)
-      : clock_(clock), engine_(std::make_unique<SubscriberEngine>(node)) {
+      : clock_(clock),
+        node_(node),
+        engine_(std::make_unique<SubscriberEngine>(node)) {
     bus.register_endpoint(node, [this](NodeId, std::vector<std::uint8_t> f) {
       on_frame(std::move(f));
     });
@@ -62,8 +66,18 @@ class RuntimeSubscriber {
     return engine_->delivered(topic, seq);
   }
 
+  /// Inbound frames rejected by the CRC32C gate before any decode.
+  std::uint64_t corrupt_frames() const {
+    return corrupt_frames_.load(std::memory_order_relaxed);
+  }
+
  private:
   void on_frame(std::vector<std::uint8_t> frame) {
+    if (!frame_checksum_ok(frame)) {
+      corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
+      obs::hooks::wire_corrupt_frame(node_);
+      return;
+    }
     if (peek_type(frame) != WireType::kDeliver) return;
     if (auto msg = decode_message_frame(frame)) {
       std::lock_guard lock(mutex_);
@@ -72,8 +86,10 @@ class RuntimeSubscriber {
   }
 
   const MonotonicClock& clock_;
+  NodeId node_;
   mutable std::mutex mutex_;
   std::unique_ptr<SubscriberEngine> engine_;
+  std::atomic<std::uint64_t> corrupt_frames_{0};
 };
 
 }  // namespace frame::runtime

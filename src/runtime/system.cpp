@@ -19,6 +19,15 @@ EdgeSystem::EdgeSystem(SystemOptions options, std::vector<ProxyGroup> proxies)
     tcp->set_connect_timeout(options_.connect_timeout);
     bus_ = std::move(tcp);
   }
+  if (options_.fault_plan.has_value()) {
+    // The decorator owns the real transport; inproc_ stays valid for the
+    // latency wiring below because FaultyBus never destroys its inner bus
+    // before its own shutdown.
+    auto faulty =
+        std::make_unique<FaultyBus>(std::move(bus_), *options_.fault_plan);
+    faulty_ = faulty.get();
+    bus_ = std::move(faulty);
+  }
   // Collect the dense topic table.
   for (const auto& proxy : proxies) {
     for (const auto& spec : proxy.topics) topics_.push_back(spec);
@@ -123,8 +132,35 @@ void EdgeSystem::crash_primary() {
   primary_->crash();
 }
 
+void EdgeSystem::crash_backup() {
+  obs::hooks::crash_injected(nodes_.backup, clock_.now());
+  backup_->crash();
+}
+
 void EdgeSystem::rejoin_crashed_primary() {
   primary_->restart_as_backup(nodes_.backup);
+}
+
+void EdgeSystem::rejoin_crashed_backup() {
+  backup_->restart_as_backup(nodes_.primary);
+}
+
+bool EdgeSystem::wait_for_degraded(Duration timeout) {
+  const TimePoint deadline = clock_.now() + timeout;
+  while (clock_.now() < deadline) {
+    if (primary_->is_primary() && !primary_->has_live_peer()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+bool EdgeSystem::wait_for_replication_restored(Duration timeout) {
+  const TimePoint deadline = clock_.now() + timeout;
+  while (clock_.now() < deadline) {
+    if (primary_->is_primary() && primary_->has_live_peer()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
 }
 
 bool EdgeSystem::wait_for_failover(Duration timeout) {

@@ -5,8 +5,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "net/faulty_bus.hpp"
 #include "net/inproc_bus.hpp"
 #include "net/tcp_bus.hpp"
 #include "runtime/runtime_broker.hpp"
@@ -39,6 +41,9 @@ struct SystemOptions {
   /// TCP transport only: cap on one connect attempt.  Bounds the time a
   /// publisher can lose to a dead Primary address during fail-over.
   Duration connect_timeout = milliseconds(250);
+  /// When set, the transport is wrapped in a FaultyBus applying this
+  /// scripted fault plan (works over inproc and TCP alike).
+  std::optional<FaultPlan> fault_plan;
 };
 
 /// Node-id layout of the assembled system.
@@ -65,12 +70,35 @@ class EdgeSystem {
   /// Fail-stop crash of the Primary broker (the paper's SIGKILL).
   void crash_primary();
 
+  /// Fail-stop crash of the Backup broker: the Primary must detect it and
+  /// degrade (keep dispatching without replication) within
+  /// detection_bound().
+  void crash_backup();
+
   /// Waits until every publisher has redirected to the Backup.
   bool wait_for_failover(Duration timeout);
+
+  /// Waits until the Primary has declared its Backup dead (degraded mode).
+  bool wait_for_degraded(Duration timeout);
+
+  /// Waits until the Primary again sees a live Backup (replication resumed).
+  bool wait_for_replication_restored(Duration timeout);
 
   /// Backup reintegration: restarts the crashed original Primary as the
   /// new Backup of the promoted broker, restoring one-failure tolerance.
   void rejoin_crashed_primary();
+
+  /// Restarts a crashed Backup as Backup of the still-serving Primary.
+  void rejoin_crashed_backup();
+
+  /// Worst-case crash-to-suspicion latency of the configured detector.
+  Duration detection_bound() const {
+    return options_.detector_poll * (options_.detector_misses + 1);
+  }
+
+  /// The fault-injection layer; null unless options.fault_plan was set.
+  FaultyBus* faults() { return faulty_; }
+  const SystemNodes& nodes() const { return nodes_; }
 
   const std::vector<TopicSpec>& topics() const { return topics_; }
   int subscriber_index_of(TopicId topic) const;
@@ -93,6 +121,7 @@ class EdgeSystem {
   MonotonicClock clock_;
   std::unique_ptr<Bus> bus_;
   InprocBus* inproc_ = nullptr;  ///< non-null when transport == kInproc
+  FaultyBus* faulty_ = nullptr;  ///< non-null when a fault plan is set
   std::unique_ptr<RuntimeBroker> primary_;
   std::unique_ptr<RuntimeBroker> backup_;
   std::vector<std::unique_ptr<RuntimeSubscriber>> subscribers_;

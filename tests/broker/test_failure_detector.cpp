@@ -1,0 +1,80 @@
+// PollingFailureDetector ordering contract (documented in the header):
+// start/reply/suspect sequencing, monotone replies, un-suspicion on a
+// fresh reply, and the detection_bound() guarantee.
+#include <gtest/gtest.h>
+
+#include "broker/failure_detector.hpp"
+
+namespace frame {
+namespace {
+
+constexpr Duration kPeriod = milliseconds(10);
+constexpr int kMisses = 3;
+
+TEST(FailureDetector, NeverSuspectsBeforeStart) {
+  PollingFailureDetector detector(kPeriod, kMisses);
+  EXPECT_FALSE(detector.suspected(0));
+  EXPECT_FALSE(detector.suspected(seconds(100)));
+}
+
+TEST(FailureDetector, StartCountsAsProofOfLife) {
+  PollingFailureDetector detector(kPeriod, kMisses);
+  detector.start(seconds(1));
+  // Exactly at the threshold: not yet suspected (strict inequality).
+  EXPECT_FALSE(detector.suspected(seconds(1) + kPeriod * kMisses));
+  // One tick past the threshold: suspected.
+  EXPECT_TRUE(detector.suspected(seconds(1) + kPeriod * kMisses + 1));
+}
+
+TEST(FailureDetector, ReplyBeforeStartDoesNotArm) {
+  PollingFailureDetector detector(kPeriod, kMisses);
+  detector.on_reply(seconds(1));
+  EXPECT_FALSE(detector.suspected(seconds(100)));
+  detector.start(seconds(100));
+  EXPECT_FALSE(detector.suspected(seconds(100) + kPeriod));
+  EXPECT_TRUE(detector.suspected(seconds(101)));
+}
+
+TEST(FailureDetector, StaleReplyNeverRegresses) {
+  PollingFailureDetector detector(kPeriod, kMisses);
+  detector.start(seconds(2));
+  // Replaying an old cached reply time (before start) must not pull the
+  // proof of life backwards and fabricate a suspicion.
+  detector.on_reply(seconds(1));
+  EXPECT_FALSE(detector.suspected(seconds(2) + kPeriod * kMisses));
+  // Nor may it mask one: the detector still fires on schedule.
+  EXPECT_TRUE(detector.suspected(seconds(2) + kPeriod * kMisses + 1));
+}
+
+TEST(FailureDetector, FreshReplyUnsuspects) {
+  PollingFailureDetector detector(kPeriod, kMisses);
+  detector.start(0);
+  const TimePoint late = kPeriod * kMisses + milliseconds(5);
+  EXPECT_TRUE(detector.suspected(late));
+  detector.on_reply(late);  // the peer answered after all (restart)
+  EXPECT_FALSE(detector.suspected(late + kPeriod));
+}
+
+TEST(FailureDetector, DetectionBoundCoversWorstCaseCrash) {
+  PollingFailureDetector detector(kPeriod, kMisses);
+  EXPECT_EQ(detector.detection_bound(), kPeriod * (kMisses + 1));
+
+  // Worst case: the peer answers a poll at t, crashes immediately after,
+  // and the driver polls every kPeriod.  The last proof of life is t, so
+  // by t + detection_bound() the detector must have fired.
+  detector.start(0);
+  detector.on_reply(milliseconds(10));
+  EXPECT_TRUE(detector.suspected(milliseconds(10) + detector.detection_bound()));
+}
+
+TEST(FailureDetector, SuspicionIsPersistentWithoutNewReplies) {
+  PollingFailureDetector detector(kPeriod, kMisses);
+  detector.start(0);
+  const TimePoint fired = kPeriod * kMisses + 1;
+  ASSERT_TRUE(detector.suspected(fired));
+  EXPECT_TRUE(detector.suspected(fired + seconds(10)));
+  EXPECT_TRUE(detector.suspected(fired + seconds(100)));
+}
+
+}  // namespace
+}  // namespace frame

@@ -1,0 +1,48 @@
+// Shared plumbing for the chaos suite: seed selection and reporting.
+//
+// Every chaos scenario derives its FaultPlan from a single seed so a
+// failure is replayable.  The seed comes from FRAME_CHAOS_SEED when set
+// (so CI or a developer can sweep seeds) and falls back to the scenario's
+// fixed default; on failure the fixture prints the exact environment
+// setting that reproduces the run.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace frame::chaos {
+
+/// The suite seed: FRAME_CHAOS_SEED if set and parseable, else `fallback`.
+inline std::uint64_t chaos_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("FRAME_CHAOS_SEED")) {
+    char* end = nullptr;
+    const std::uint64_t parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return parsed;
+  }
+  return fallback;
+}
+
+/// Fixture that remembers the seed in play and prints the reproduction
+/// command when any assertion in the test failed.
+class ChaosTest : public ::testing::Test {
+ protected:
+  std::uint64_t use_seed(std::uint64_t fallback) {
+    seed_ = chaos_seed(fallback);
+    return seed_;
+  }
+
+  void TearDown() override {
+    if (HasFailure()) {
+      std::fprintf(stderr,
+                   "[  CHAOS   ] reproduce with FRAME_CHAOS_SEED=%llu\n",
+                   static_cast<unsigned long long>(seed_));
+    }
+  }
+
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace frame::chaos

@@ -1,0 +1,86 @@
+// BackoffSchedule: deterministic per seed, exponential, capped, jitter
+// bounded, reset on success.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/backoff.hpp"
+
+namespace frame {
+namespace {
+
+TEST(Backoff, SameSeedSameSchedule) {
+  BackoffSchedule a({}, 42);
+  BackoffSchedule b({}, 42);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(a.next_delay(), b.next_delay()) << "attempt " << i;
+  }
+}
+
+TEST(Backoff, DifferentSeedsDiverge) {
+  BackoffSchedule a({}, 1);
+  BackoffSchedule b({}, 2);
+  bool diverged = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a.next_delay() != b.next_delay()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Backoff, GrowsExponentiallyWithinJitterBounds) {
+  BackoffOptions options;
+  options.base = milliseconds(10);
+  options.max = seconds(2);
+  options.multiplier = 2.0;
+  options.jitter = 0.2;
+  BackoffSchedule schedule(options, 7);
+  double nominal = static_cast<double>(options.base);
+  for (int i = 0; i < 6; ++i) {
+    const Duration delay = schedule.next_delay();
+    EXPECT_GE(static_cast<double>(delay), nominal * 0.8 - 1) << "attempt " << i;
+    EXPECT_LE(static_cast<double>(delay), nominal * 1.2 + 1) << "attempt " << i;
+    nominal *= options.multiplier;
+  }
+}
+
+TEST(Backoff, CappedAtMax) {
+  BackoffOptions options;
+  options.base = milliseconds(10);
+  options.max = milliseconds(100);
+  BackoffSchedule schedule(options, 3);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_LE(schedule.next_delay(), options.max) << "attempt " << i;
+  }
+  EXPECT_EQ(schedule.attempts(), 30);
+}
+
+TEST(Backoff, ResetReturnsToBaseDelay) {
+  BackoffOptions options;
+  options.jitter = 0.0;  // exact values without jitter
+  BackoffSchedule schedule(options, 9);
+  const Duration first = schedule.next_delay();
+  EXPECT_EQ(first, options.base);
+  for (int i = 0; i < 5; ++i) schedule.next_delay();
+  EXPECT_EQ(schedule.attempts(), 6);
+
+  schedule.reset();
+  EXPECT_EQ(schedule.attempts(), 0);
+  EXPECT_EQ(schedule.next_delay(), options.base);
+}
+
+TEST(Backoff, ZeroJitterIsExactDoubling) {
+  BackoffOptions options;
+  options.base = milliseconds(10);
+  options.max = seconds(2);
+  options.jitter = 0.0;
+  BackoffSchedule schedule(options, 1);
+  const std::vector<Duration> expected = {
+      milliseconds(10), milliseconds(20), milliseconds(40),
+      milliseconds(80), milliseconds(160), milliseconds(320)};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(schedule.next_delay(), expected[i]) << "attempt " << i;
+  }
+}
+
+}  // namespace
+}  // namespace frame

@@ -3,10 +3,20 @@
 
 #include "common/rng.hpp"
 #include "net/codec.hpp"
+#include "net/crc32c.hpp"
 #include "net/wire.hpp"
 
 namespace frame {
 namespace {
+
+/// Recomputes the trailing CRC32C after a test deliberately edited the
+/// body, so the edit (not the checksum) is what the decoder sees.
+void reseal(std::vector<std::uint8_t>& frame) {
+  frame.resize(frame.size() - kFrameChecksumSize);
+  std::vector<std::uint8_t> tail;
+  Writer(tail).u32(crc32c(frame));
+  frame.insert(frame.end(), tail.begin(), tail.end());
+}
 
 TEST(Codec, PrimitiveRoundTrip) {
   std::vector<std::uint8_t> buf;
@@ -134,10 +144,52 @@ TEST(Wire, TruncatedMessageFrameRejected) {
 TEST(Wire, OversizedPayloadLengthRejected) {
   const Message msg = make_test_message(1, 1, 0);
   auto frame = encode_message_frame(WireType::kPublish, msg);
-  // Corrupt the payload length (the two bytes before the payload).
-  frame[frame.size() - msg.payload_size - 2] = 0xff;
-  frame[frame.size() - msg.payload_size - 1] = 0xff;
+  // Corrupt the payload length (the two bytes before the payload, which
+  // sits ahead of the trailing checksum), then re-seal so the length
+  // check — not the CRC — is what rejects the frame.
+  const std::size_t len_at =
+      frame.size() - kFrameChecksumSize - msg.payload_size - 2;
+  frame[len_at] = 0xff;
+  frame[len_at + 1] = 0xff;
+  reseal(frame);
   EXPECT_FALSE(decode_message_frame(frame).has_value());
+}
+
+TEST(Wire, ChecksumAcceptsEveryEncoderOutput) {
+  const Message msg = make_test_message(3, 9, milliseconds(7));
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode_message_frame(WireType::kPublish, msg),
+      encode_prune_frame(PruneFrame{1, 2}),
+      encode_subscribe_frame(SubscribeFrame{3, 4}),
+      encode_hello_frame(HelloFrame{5, 1}),
+      encode_control_frame(WireType::kPoll),
+  };
+  for (const auto& frame : frames) {
+    EXPECT_TRUE(frame_checksum_ok(frame));
+    EXPECT_TRUE(validate_frame(frame).is_ok());
+  }
+}
+
+TEST(Wire, ChecksumDetectsEverySingleByteFlip) {
+  const Message msg = make_test_message(7, 11, milliseconds(3));
+  const auto clean = encode_message_frame(WireType::kDeliver, msg);
+  for (std::size_t pos = 0; pos < clean.size(); ++pos) {
+    auto frame = clean;
+    frame[pos] ^= 0x40;
+    EXPECT_FALSE(frame_checksum_ok(frame)) << "flip at " << pos;
+    EXPECT_FALSE(decode_message_frame(frame).has_value()) << "flip at " << pos;
+    EXPECT_EQ(validate_frame(frame).code(), StatusCode::kProtocolError);
+  }
+}
+
+TEST(Wire, ChecksumDetectsEveryTruncation) {
+  const auto clean = encode_prune_frame(PruneFrame{2, 77});
+  for (std::size_t len = 0; len < clean.size(); ++len) {
+    const auto frame = std::vector<std::uint8_t>(clean.begin(),
+                                                 clean.begin() + len);
+    EXPECT_FALSE(frame_checksum_ok(frame)) << "length " << len;
+    EXPECT_FALSE(decode_prune_frame(frame).has_value()) << "length " << len;
+  }
 }
 
 // Property: arbitrary payload sizes round-trip; random garbage never
