@@ -12,8 +12,10 @@
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "broker/primary_engine.hpp"
 #include "common/ring_buffer.hpp"
@@ -553,4 +555,28 @@ BENCHMARK(BM_CorrelatorConjunction);
 }  // namespace
 }  // namespace frame
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): unless the caller passed their
+// own --benchmark_out, mirror the run as machine-readable JSON to
+// BENCH_micro.json at the repo root (FRAME_BENCH_JSON_PATH, injected by
+// CMake) so regressions diff as data, not as console text.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+#ifdef FRAME_BENCH_JSON_PATH
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  static char out_flag[] = "--benchmark_out=" FRAME_BENCH_JSON_PATH;
+  static char format_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(format_flag);
+  }
+#endif
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,16 +11,101 @@
 //   $ ./frame_analyze deployment.frame --simulate [--crash]
 //       additionally runs the deployment through the discrete-event
 //       simulator (FRAME configuration) and reports per-group results
+//   $ ./frame_analyze --stitch dump1.trace [dump2.trace ...]
+//                     [--perfetto out.json]
+//       merges per-process tracer dumps (GET /trace, or EdgeSystem
+//       trace_dump()) into one timeline, prints the per-hop summary and
+//       optionally writes validated Perfetto JSON
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/capacity.hpp"
 #include "core/config_file.hpp"
 #include "core/differentiation.hpp"
+#include "obs/stitch.hpp"
 #include "sim/experiment.hpp"
+
+namespace {
+
+int run_stitch(int argc, char** argv) {
+  using namespace frame;
+
+  std::vector<std::string> dump_paths;
+  const char* perfetto_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--perfetto") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--perfetto needs an output path\n");
+        return 2;
+      }
+      perfetto_path = argv[++i];
+    } else {
+      dump_paths.push_back(arg);
+    }
+  }
+  if (dump_paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: frame_analyze --stitch <dump>... [--perfetto out]\n");
+    return 2;
+  }
+
+  std::string text;
+  for (const auto& path : dump_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text += buffer.str();
+  }
+
+  const auto dumps = obs::parse_dumps(text);
+  if (dumps.empty()) {
+    std::fprintf(stderr, "error: no 'frame-trace-dump v1' sections found\n");
+    return 1;
+  }
+  for (const auto& dump : dumps) {
+    std::printf("dump '%s': %zu spans, anchor %+lld ns, %llu dropped\n",
+                dump.process.c_str(), dump.spans.size(),
+                static_cast<long long>(dump.wall_anchor),
+                static_cast<unsigned long long>(dump.dropped));
+  }
+  const obs::StitchReport report = obs::stitch(dumps);
+  std::fputs(obs::stitch_summary(report).c_str(), stdout);
+
+  if (perfetto_path != nullptr) {
+    const std::string json = obs::to_perfetto_json(report);
+    const Status valid = obs::validate_perfetto_json(json);
+    if (!valid.is_ok()) {
+      std::fprintf(stderr, "error: generated Perfetto JSON is invalid: %s\n",
+                   valid.to_string().c_str());
+      return 1;
+    }
+    std::ofstream out(perfetto_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", perfetto_path);
+      return 1;
+    }
+    out << json;
+    std::printf("wrote %s (open in https://ui.perfetto.dev)\n", perfetto_path);
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace frame;
+
+  if (argc > 1 && std::string(argv[1]) == "--stitch") {
+    return run_stitch(argc, argv);
+  }
 
   bool simulate = false;
   bool crash = false;

@@ -8,13 +8,20 @@
 //   $ ./frame_stats --json     # machine-readable JSON
 //   $ ./frame_stats --prom     # Prometheus text exposition
 //   $ ./frame_stats --spans    # also dump the most recent trace spans
+//   $ ./frame_stats --serve [--trace-out F] [--perfetto-out F]
+//       additionally serves live telemetry on an ephemeral loopback port
+//       (printed as TELEMETRY_PORT=N before the scenario starts, so a
+//       script can scrape /metrics and /healthz mid-run) and writes the
+//       tracer dump / stitched Perfetto JSON on exit
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "obs/stitch.hpp"
 #include "runtime/system.hpp"
 
 namespace {
@@ -35,6 +42,8 @@ const char* span_kind_name(frame::obs::SpanKind kind) {
     case SpanKind::kFailoverDetected: return "failover-detected";
     case SpanKind::kPromotion: return "promotion";
     case SpanKind::kRetentionReplay: return "retention-replay";
+    case SpanKind::kBackupStored: return "backup-stored";
+    case SpanKind::kRedirect: return "redirect";
   }
   return "?";
 }
@@ -47,12 +56,23 @@ int main(int argc, char** argv) {
 
   Format format = Format::kTable;
   bool dump_spans = false;
+  bool serve = false;
+  const char* trace_out = nullptr;
+  const char* perfetto_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) format = Format::kJson;
     else if (std::strcmp(argv[i], "--prom") == 0) format = Format::kProm;
     else if (std::strcmp(argv[i], "--spans") == 0) dump_spans = true;
+    else if (std::strcmp(argv[i], "--serve") == 0) serve = true;
+    else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+      trace_out = argv[++i];
+    else if (std::strcmp(argv[i], "--perfetto-out") == 0 && i + 1 < argc)
+      perfetto_out = argv[++i];
     else {
-      std::fprintf(stderr, "usage: %s [--json|--prom] [--spans]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json|--prom] [--spans] [--serve] "
+                   "[--trace-out F] [--perfetto-out F]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -89,7 +109,18 @@ int main(int argc, char** argv) {
                     Destination::kCloud},
       }});
 
+  if (serve) options.telemetry_port = 0;  // ephemeral
   EdgeSystem system(options, proxies);
+  if (serve) {
+    if (system.telemetry_port() == 0) {
+      std::fprintf(stderr, "telemetry endpoint failed to bind\n");
+      return 1;
+    }
+    // Scripts scrape while the scenario runs: announce the port first and
+    // make sure it leaves the stdout buffer before the sleeps below.
+    std::printf("TELEMETRY_PORT=%u\n", system.telemetry_port());
+    std::fflush(stdout);
+  }
   system.start();
   if (format == Format::kTable) {
     std::fprintf(stderr, "[frame_stats] running healthy for 1s...\n");
@@ -105,6 +136,30 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+
+  // Snapshot the ring before stop() tears the system down, then write the
+  // dump / stitched Perfetto trace the --stitch workflow consumes.
+  if (trace_out != nullptr || perfetto_out != nullptr) {
+    const obs::TraceDump dump = system.trace_dump("frame-stats");
+    if (trace_out != nullptr) {
+      std::ofstream out(trace_out);
+      out << obs::serialize_dump(dump);
+      std::fprintf(stderr, "[frame_stats] wrote %s\n", trace_out);
+    }
+    if (perfetto_out != nullptr) {
+      const obs::StitchReport report = obs::stitch({dump});
+      const std::string json = obs::to_perfetto_json(report);
+      const Status valid = obs::validate_perfetto_json(json);
+      if (!valid.is_ok()) {
+        std::fprintf(stderr, "generated Perfetto JSON is invalid: %s\n",
+                     valid.to_string().c_str());
+        return 1;
+      }
+      std::ofstream out(perfetto_out);
+      out << json;
+      std::fprintf(stderr, "[frame_stats] wrote %s\n", perfetto_out);
+    }
+  }
   system.stop();
 
   const obs::ObsSnapshot snap = obs::collect_snapshot(dump_spans ? 64 : 0);

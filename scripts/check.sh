@@ -48,3 +48,37 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
 echo "--- tcp_wire_demo smoke test ---"
 "$build_dir/examples/tcp_wire_demo" >/dev/null
 echo "tcp_wire_demo: OK"
+
+# Smoke test: live telemetry endpoint plus the trace stitch pipeline.
+# frame_stats --serve prints TELEMETRY_PORT=N before the scenario starts;
+# scrape /metrics and /healthz mid-run, then stitch the dump it wrote into
+# Perfetto JSON and check the file parses.
+echo "--- telemetry + stitch smoke test ---"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+"$build_dir/examples/frame_stats" --serve \
+    --trace-out "$smoke_dir/edge.trace" \
+    >"$smoke_dir/stats.out" 2>/dev/null &
+stats_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^TELEMETRY_PORT=\([0-9]*\)$/\1/p' "$smoke_dir/stats.out")"
+  [[ -n "$port" ]] && break
+  sleep 0.05
+done
+if [[ -z "$port" ]]; then
+  echo "error: frame_stats --serve never announced a telemetry port" >&2
+  kill "$stats_pid" 2>/dev/null || true
+  exit 1
+fi
+curl -sf "http://127.0.0.1:$port/metrics" \
+    | grep -q '^frame_trace_dropped_total ' \
+    || { echo "error: /metrics missing frame_trace_dropped_total" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$port/healthz" | grep -q '"status"' \
+    || { echo "error: /healthz missing status field" >&2; exit 1; }
+wait "$stats_pid"
+"$build_dir/examples/frame_analyze" --stitch "$smoke_dir/edge.trace" \
+    --perfetto "$smoke_dir/edge.perfetto.json" >/dev/null
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$smoke_dir/edge.perfetto.json"
+echo "telemetry + stitch: OK"

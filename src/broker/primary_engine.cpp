@@ -70,7 +70,7 @@ void PrimaryEngine::generate_jobs(const Message& msg, TimePoint now,
     if (obs::enabled()) {
       obs::hooks::job_enqueue(msg.topic, msg.seq, now, /*replicate=*/true,
                               kDurationInfinite,
-                              slack_until(job.deadline, now));
+                              slack_until(job.deadline, now), msg.trace_id);
     }
     if (auto* entry = store_.find(msg.topic, msg.seq)) {
       entry->replicate_job_pending = true;
@@ -91,7 +91,8 @@ void PrimaryEngine::generate_jobs(const Message& msg, TimePoint now,
   ++stats_.dispatch_jobs_created;
   if (obs::enabled()) {
     obs::hooks::job_enqueue(msg.topic, msg.seq, now, /*replicate=*/false,
-                            slack_until(job.deadline, now), kDurationInfinite);
+                            slack_until(job.deadline, now), kDurationInfinite,
+                            msg.trace_id);
   }
 }
 
@@ -101,7 +102,7 @@ void PrimaryEngine::on_publish(const Message& msg, TimePoint now,
   ++stats_.arrivals;
   if (obs::enabled()) {
     obs::hooks::proxy_admit(msg.topic, msg.seq, now, now - msg.created_at,
-                            /*recovery=*/false);
+                            /*recovery=*/false, msg.trace_id);
   }
   Message stored = msg;
   stored.broker_arrival = now;
@@ -119,7 +120,7 @@ void PrimaryEngine::on_recovery_copy(const Message& msg, TimePoint now) {
   ++stats_.recovery_arrivals;
   if (obs::enabled()) {
     obs::hooks::proxy_admit(msg.topic, msg.seq, now, now - msg.created_at,
-                            /*recovery=*/true);
+                            /*recovery=*/true, msg.trace_id);
   }
   Message stored = msg;
   stored.broker_arrival = now;
@@ -156,7 +157,8 @@ DispatchEffect PrimaryEngine::execute_dispatch(const Job& job,
   ++stats_.dispatches_executed;
   if (obs::enabled()) {
     obs::hooks::dispatch_executed(job.topic, job.seq, now,
-                                  slack_until(job.deadline, now));
+                                  slack_until(job.deadline, now),
+                                  entry->msg.trace_id);
   }
   if (config_.coordination) {
     if (entry->replicated) {
@@ -198,7 +200,8 @@ ReplicateEffect PrimaryEngine::execute_replicate(const Job& job,
   ++stats_.replications_executed;
   if (obs::enabled()) {
     obs::hooks::replicate_executed(job.topic, job.seq, now,
-                                   slack_until(job.deadline, now));
+                                   slack_until(job.deadline, now),
+                                   entry->msg.trace_id);
   }
   return effect;
 }

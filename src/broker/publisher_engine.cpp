@@ -19,11 +19,22 @@ PublisherEngine::PublisherEngine(NodeId id, std::vector<TopicSpec> topics,
 std::vector<Message> PublisherEngine::create_batch(TimePoint now) {
   std::vector<Message> batch;
   batch.reserve(topics_.size());
+  // Trace context is minted here, at the message origin, and only when
+  // tracing is live: with obs off messages keep trace_id == 0 and the wire
+  // codec emits zero extra bytes.  The anchor maps this process's
+  // monotonic timeline onto the wall clock so dumps from other processes
+  // can be stitched onto one axis.
+  const bool tracing = obs::enabled();
+  const std::int64_t anchor = tracing ? wall_now_ns() - now : 0;
   for (std::size_t i = 0; i < topics_.size(); ++i) {
     Message msg =
         make_test_message(topics_[i].id, next_seq_[i]++, now, payload_size_);
+    if (tracing) {
+      msg.trace_id = obs::make_trace_id(id_, msg.topic, msg.seq);
+      msg.trace_anchor = anchor;
+    }
     retention_.retain(msg);
-    obs::hooks::publish(msg.topic, msg.seq, now);
+    obs::hooks::publish(msg.topic, msg.seq, now, msg.trace_id);
     batch.push_back(msg);
     ++messages_created_;
   }

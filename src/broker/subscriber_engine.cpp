@@ -54,7 +54,7 @@ bool SubscriberEngine::on_deliver(const Message& msg, TimePoint now) {
   ++state.unique;
   ++total_unique_;
   const Duration latency = now - msg.created_at;
-  obs::hooks::delivered(msg.topic, msg.seq, now, latency);
+  obs::hooks::delivered(msg.topic, msg.seq, now, latency, msg.trace_id);
   if (msg.created_at >= window_start_ && msg.created_at < window_end_) {
     ++state.delivered_in_window;
     if (latency <= state.spec.deadline) ++state.on_time_in_window;

@@ -52,6 +52,15 @@ constexpr TimePoint time_add(TimePoint t, Duration d) {
 /// Formats a duration as a human-readable string ("12.5ms", "3.2s", ...).
 std::string format_duration(Duration d);
 
+/// Wall-clock nanoseconds since the Unix epoch.  Only used to *anchor*
+/// monotonic timelines across processes (trace stitching); never drives
+/// deadlines or scheduling, which stay on the monotonic clock.
+inline std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Monotonic wall clock used by the real-thread runtime, rebased so that the
 /// first reading in a process is near zero.
 class MonotonicClock {

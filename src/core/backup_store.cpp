@@ -15,7 +15,8 @@ void BackupStore::configure(std::size_t topic_count) {
 void BackupStore::insert(const Message& msg, TimePoint replica_arrival) {
   if (msg.topic >= rings_.size()) return;
   rings_[msg.topic].push_back(BackupEntry{msg, false, replica_arrival});
-  obs::hooks::backup_replica_stored(msg.topic, replica_arrival);
+  obs::hooks::backup_replica_stored(msg.topic, msg.seq, replica_arrival,
+                                    msg.trace_id);
 }
 
 bool BackupStore::prune(TopicId topic, SeqNo seq) {

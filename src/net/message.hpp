@@ -28,6 +28,14 @@ struct Message {
   TimePoint dispatched_at = 0;  ///< td, stamped when a Dispatcher pushes it
   std::uint16_t payload_size = 0;
   bool recovered = false;  ///< true on retention-resend / recovery-dispatch copies
+
+  // Optional trace context (distributed tracing).  trace_id == 0 means "no
+  // context": the wire codec then emits zero extra bytes, keeping the
+  // tracing-off frame layout byte-identical to pre-trace builds.
+  std::uint64_t trace_id = 0;    ///< correlates spans across processes
+  std::int64_t trace_anchor = 0; ///< origin's wall_now_ns() - mono now()
+  std::uint8_t hop = 0;          ///< bumped at each process boundary
+
   std::array<std::byte, kMaxPayload> payload{};
 
   void set_payload(const void* data, std::size_t size);

@@ -8,6 +8,10 @@ namespace frame {
 namespace {
 
 constexpr std::uint8_t kMessageFlagRecovered = 0x1;
+// Flags an optional trailing trace-context block (trace_id u64 + anchor i64
+// + hop u8, 17 bytes) after the payload.  Absent (zero extra bytes) when
+// the message carries no trace id, so tracing-off traffic is unchanged.
+constexpr std::uint8_t kMessageFlagTraceCtx = 0x2;
 
 bool type_carries_message(WireType type) {
   switch (type) {
@@ -60,8 +64,15 @@ std::vector<std::uint8_t> encode_message_frame(WireType type,
   w.i64(msg.created_at);
   w.i64(msg.broker_arrival);
   w.i64(msg.dispatched_at);
-  w.u8(msg.recovered ? kMessageFlagRecovered : 0);
+  std::uint8_t flags = msg.recovered ? kMessageFlagRecovered : 0;
+  if (msg.trace_id != 0) flags |= kMessageFlagTraceCtx;
+  w.u8(flags);
   w.blob16(msg.payload.data(), msg.payload_size);
+  if (msg.trace_id != 0) {
+    w.u64(msg.trace_id);
+    w.i64(msg.trace_anchor);
+    w.u8(msg.hop);
+  }
   seal(out);
   return out;
 }
@@ -122,10 +133,17 @@ std::optional<Message> decode_message_frame(std::span<const std::uint8_t> buf) {
   msg.created_at = r.i64();
   msg.broker_arrival = r.i64();
   msg.dispatched_at = r.i64();
-  msg.recovered = (r.u8() & kMessageFlagRecovered) != 0;
+  const std::uint8_t flags = r.u8();
+  msg.recovered = (flags & kMessageFlagRecovered) != 0;
   const auto payload = r.blob16();
   if (!r.ok() || payload.size() > kMaxPayload) return std::nullopt;
   msg.set_payload(payload.data(), payload.size());
+  if ((flags & kMessageFlagTraceCtx) != 0) {
+    msg.trace_id = r.u64();
+    msg.trace_anchor = r.i64();
+    msg.hop = r.u8();
+    if (!r.ok() || msg.trace_id == 0) return std::nullopt;
+  }
   return msg;
 }
 

@@ -38,12 +38,62 @@ double ms(double ns) { return ns / 1e6; }
 
 }  // namespace
 
+std::string prometheus_sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out.push_back(alpha || (digit && i > 0) ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          appendf(out, "\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 ObsSnapshot collect_snapshot(std::size_t max_spans) {
   ObsSnapshot snap;
   snap.metrics = registry().snapshot();
   snap.topics = accountant().snapshot_all();
   snap.spans_recorded = tracer().recorded();
   snap.span_drops = tracer().contention_drops();
+  snap.span_dropped_total = tracer().dropped_total();
   if (max_spans > 0) {
     snap.recent_spans = tracer().snapshot();
     if (snap.recent_spans.size() > max_spans) {
@@ -61,21 +111,22 @@ std::string to_json(const ObsSnapshot& snap) {
   out += "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : snap.metrics.counters) {
-    appendf(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",", name.c_str(),
-            value);
+    appendf(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
+            json_escape(name).c_str(), value);
     first = false;
   }
   out += "\n  },\n  \"gauges\": {";
   first = true;
   for (const auto& [name, value] : snap.metrics.gauges) {
-    appendf(out, "%s\n    \"%s\": %" PRId64, first ? "" : ",", name.c_str(),
-            value);
+    appendf(out, "%s\n    \"%s\": %" PRId64, first ? "" : ",",
+            json_escape(name).c_str(), value);
     first = false;
   }
   out += "\n  },\n  \"latencies\": {";
   first = true;
   for (const auto& [name, latency] : snap.metrics.latencies) {
-    appendf(out, "%s\n    \"%s\": ", first ? "" : ",", name.c_str());
+    appendf(out, "%s\n    \"%s\": ", first ? "" : ",",
+            json_escape(name).c_str());
     append_latency_json(out, latency);
     first = false;
   }
@@ -104,8 +155,9 @@ std::string to_json(const ObsSnapshot& snap) {
   }
   appendf(out,
           "\n  ],\n  \"tracer\": {\"recorded\": %" PRIu64
-          ", \"contention_drops\": %" PRIu64 "}\n}\n",
-          snap.spans_recorded, snap.span_drops);
+          ", \"contention_drops\": %" PRIu64 ", \"dropped_total\": %" PRIu64
+          "}\n}\n",
+          snap.spans_recorded, snap.span_drops, snap.span_dropped_total);
   return out;
 }
 
@@ -113,22 +165,36 @@ std::string to_prometheus(const ObsSnapshot& snap) {
   std::string out;
   out.reserve(4096);
   for (const auto& [name, value] : snap.metrics.counters) {
-    appendf(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(),
-            name.c_str(), value);
+    const std::string n = prometheus_sanitize_name(name);
+    appendf(out, "# TYPE %s counter\n%s %" PRIu64 "\n", n.c_str(), n.c_str(),
+            value);
   }
   for (const auto& [name, value] : snap.metrics.gauges) {
-    appendf(out, "# TYPE %s gauge\n%s %" PRId64 "\n", name.c_str(),
-            name.c_str(), value);
+    const std::string n = prometheus_sanitize_name(name);
+    appendf(out, "# TYPE %s gauge\n%s %" PRId64 "\n", n.c_str(), n.c_str(),
+            value);
   }
   for (const auto& [name, latency] : snap.metrics.latencies) {
-    appendf(out, "# TYPE %s summary\n", name.c_str());
-    appendf(out, "%s{quantile=\"0.5\"} %.1f\n", name.c_str(), latency.p50());
-    appendf(out, "%s{quantile=\"0.9\"} %.1f\n", name.c_str(), latency.p90());
-    appendf(out, "%s{quantile=\"0.99\"} %.1f\n", name.c_str(), latency.p99());
-    appendf(out, "%s_sum %.1f\n", name.c_str(),
+    const std::string n = prometheus_sanitize_name(name);
+    appendf(out, "# TYPE %s summary\n", n.c_str());
+    appendf(out, "%s{quantile=\"0.5\"} %.1f\n", n.c_str(), latency.p50());
+    appendf(out, "%s{quantile=\"0.9\"} %.1f\n", n.c_str(), latency.p90());
+    appendf(out, "%s{quantile=\"0.99\"} %.1f\n", n.c_str(), latency.p99());
+    appendf(out, "%s_sum %.1f\n", n.c_str(),
             latency.mean() * static_cast<double>(latency.count()));
-    appendf(out, "%s_count %zu\n", name.c_str(), latency.count());
+    appendf(out, "%s_count %zu\n", n.c_str(), latency.count());
   }
+  // Tracer loss accounting: nonzero means snapshots/dumps are incomplete
+  // timelines (ring wraparound or slot contention) -- consumers must not
+  // treat a stitched trace as exhaustive when this counter moved.
+  appendf(out,
+          "# TYPE frame_trace_recorded_total counter\n"
+          "frame_trace_recorded_total %" PRIu64 "\n",
+          snap.spans_recorded);
+  appendf(out,
+          "# TYPE frame_trace_dropped_total counter\n"
+          "frame_trace_dropped_total %" PRIu64 "\n",
+          snap.span_dropped_total);
   // Per-topic series from the deadline accountant.
   for (const auto& t : snap.topics) {
     if (t.topic == kInvalidTopic || t.deliveries + t.dispatches == 0) continue;
@@ -221,9 +287,10 @@ std::string to_table(const ObsSnapshot& snap) {
             ms(l.max()));
   }
   appendf(out,
-          "\nspans recorded %" PRIu64 " (contention drops %" PRIu64
-          ", ring capacity %zu)\n",
-          snap.spans_recorded, snap.span_drops, tracer().capacity());
+          "\nspans recorded %" PRIu64 " (dropped %" PRIu64
+          ": contention %" PRIu64 " + overflow; ring capacity %zu)\n",
+          snap.spans_recorded, snap.span_dropped_total, snap.span_drops,
+          tracer().capacity());
   return out;
 }
 

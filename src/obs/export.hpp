@@ -19,8 +19,22 @@ struct ObsSnapshot {
   std::vector<TopicDeadlineSnapshot> topics;
   std::vector<SpanEvent> recent_spans;
   std::uint64_t spans_recorded = 0;
-  std::uint64_t span_drops = 0;
+  std::uint64_t span_drops = 0;          ///< lost to slot contention
+  std::uint64_t span_dropped_total = 0;  ///< contention + ring overflow
 };
+
+/// Prometheus metric-name sanitizer: every byte outside
+/// [a-zA-Z0-9_:] (and a leading digit) becomes '_'.  Instrument names are
+/// code-controlled today, but exporters must not emit an invalid exposition
+/// if one ever isn't.
+std::string prometheus_sanitize_name(std::string_view name);
+
+/// Prometheus label-value escaping: backslash, double-quote and newline
+/// get backslash-escaped (UTF-8 passes through, per the exposition spec).
+std::string prometheus_escape_label(std::string_view value);
+
+/// Minimal JSON string escaping: ", \, and control characters.
+std::string json_escape(std::string_view value);
 
 /// Copies the global registry, accountant, and tracer.
 /// `max_spans` bounds the spans included (0 = none, keeps snapshots small).

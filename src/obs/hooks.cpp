@@ -26,12 +26,16 @@ namespace {
 void span(SpanKind kind, TopicId topic, SeqNo seq, NodeId node, TimePoint at,
           Duration delta_pb = kDurationInfinite,
           Duration dd_slack = kDurationInfinite,
-          Duration dr_slack = kDurationInfinite) {
+          Duration dr_slack = kDurationInfinite,
+          std::uint64_t trace_id = 0) {
   SpanEvent ev;
   ev.kind = kind;
   ev.topic = topic;
   ev.seq = seq;
-  ev.node = node;
+  // Engines are node-agnostic; attribute their spans to the node the
+  // calling runtime thread declared via ThreadNodeScope.
+  ev.node = node == kInvalidNode ? thread_node() : node;
+  ev.trace_id = trace_id;
   ev.at = at;
   ev.delta_pb = delta_pb;
   ev.dd_slack = dd_slack;
@@ -41,14 +45,17 @@ void span(SpanKind kind, TopicId topic, SeqNo seq, NodeId node, TimePoint at,
 
 }  // namespace
 
-void publish_slow(TopicId topic, SeqNo seq, TimePoint now) {
+void publish_slow(TopicId topic, SeqNo seq, TimePoint now,
+                  std::uint64_t trace_id) {
   static Counter& created = registry().counter("frame_publisher_created_total");
   created.add();
-  span(SpanKind::kPublish, topic, seq, kInvalidNode, now);
+  span(SpanKind::kPublish, topic, seq, kInvalidNode, now, kDurationInfinite,
+       kDurationInfinite, kDurationInfinite, trace_id);
 }
 
 void proxy_admit_slow(TopicId topic, SeqNo seq, TimePoint now,
-                      Duration delta_pb, bool recovery) {
+                      Duration delta_pb, bool recovery,
+                      std::uint64_t trace_id) {
   static Counter& admits = registry().counter("frame_proxy_admits_total");
   static Counter& recoveries =
       registry().counter("frame_proxy_recovery_admits_total");
@@ -56,40 +63,42 @@ void proxy_admit_slow(TopicId topic, SeqNo seq, TimePoint now,
   admits.add();
   if (recovery) recoveries.add();
   if (delta_pb >= 0) pb.record(static_cast<double>(delta_pb));
-  span(SpanKind::kProxyAdmit, topic, seq, kInvalidNode, now, delta_pb);
+  span(SpanKind::kProxyAdmit, topic, seq, kInvalidNode, now, delta_pb,
+       kDurationInfinite, kDurationInfinite, trace_id);
 }
 
 void job_enqueue_slow(TopicId topic, SeqNo seq, TimePoint now, bool replicate,
-                      Duration dd_slack, Duration dr_slack) {
+                      Duration dd_slack, Duration dr_slack,
+                      std::uint64_t trace_id) {
   static Counter& dispatch_jobs =
       registry().counter("frame_dispatch_jobs_total");
   static Counter& replicate_jobs =
       registry().counter("frame_replicate_jobs_total");
   (replicate ? replicate_jobs : dispatch_jobs).add();
   span(SpanKind::kJobEnqueue, topic, seq, kInvalidNode, now,
-       kDurationInfinite, dd_slack, dr_slack);
+       kDurationInfinite, dd_slack, dr_slack, trace_id);
 }
 
 void dispatch_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
-                            Duration slack) {
+                            Duration slack, std::uint64_t trace_id) {
   static Counter& dispatches = registry().counter("frame_dispatches_total");
   dispatches.add();
   if (slack != kDurationInfinite) {
     accountant().on_dispatch_executed(topic, slack);
   }
   span(SpanKind::kDispatchStart, topic, seq, kInvalidNode, now,
-       kDurationInfinite, slack);
+       kDurationInfinite, slack, kDurationInfinite, trace_id);
 }
 
 void replicate_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
-                             Duration slack) {
+                             Duration slack, std::uint64_t trace_id) {
   static Counter& replications = registry().counter("frame_replications_total");
   replications.add();
   if (slack != kDurationInfinite) {
     accountant().on_replication_executed(topic, slack);
   }
   span(SpanKind::kReplicated, topic, seq, kInvalidNode, now,
-       kDurationInfinite, kDurationInfinite, slack);
+       kDurationInfinite, kDurationInfinite, slack, trace_id);
 }
 
 void copy_dropped_slow(TopicId topic, SeqNo seq, TimePoint now) {
@@ -98,14 +107,15 @@ void copy_dropped_slow(TopicId topic, SeqNo seq, TimePoint now) {
   span(SpanKind::kDropped, topic, seq, kInvalidNode, now);
 }
 
-void delivered_slow(TopicId topic, SeqNo seq, TimePoint now, Duration e2e) {
+void delivered_slow(TopicId topic, SeqNo seq, TimePoint now, Duration e2e,
+                    std::uint64_t trace_id) {
   static Counter& deliveries = registry().counter("frame_deliveries_total");
   static LatencyRecorder& latency = registry().latency("frame_e2e_latency_ns");
   deliveries.add();
   latency.record(static_cast<double>(e2e));
   accountant().on_delivery(topic, seq, e2e);
   span(SpanKind::kDelivered, topic, seq, kInvalidNode, now, kDurationInfinite,
-       e2e);
+       e2e, kDurationInfinite, trace_id);
 }
 
 void job_queue_depth_slow(std::size_t depth) {
@@ -121,11 +131,12 @@ void replication_cancelled_drop_slow() {
   drops.add();
 }
 
-void backup_replica_stored_slow(TopicId topic, TimePoint now) {
+void backup_replica_stored_slow(TopicId topic, SeqNo seq, TimePoint now,
+                                std::uint64_t trace_id) {
   static Counter& replicas = registry().counter("frame_backup_replicas_total");
   replicas.add();
-  (void)topic;
-  (void)now;
+  span(SpanKind::kBackupStored, topic, seq, kInvalidNode, now,
+       kDurationInfinite, kDurationInfinite, kDurationInfinite, trace_id);
 }
 
 void backup_prune_applied_slow(TopicId topic) {
@@ -234,7 +245,7 @@ void publisher_redirected_slow(NodeId node, TimePoint now) {
   if (crashed_at > 0 && now > crashed_at) {
     x.record(static_cast<double>(now - crashed_at));
   }
-  span(SpanKind::kFailoverDetected, kInvalidTopic, 0, node, now);
+  span(SpanKind::kRedirect, kInvalidTopic, 0, node, now);
 }
 
 void retention_replay_slow(NodeId node, TimePoint now,

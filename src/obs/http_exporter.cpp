@@ -1,0 +1,234 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+#include "common/log.hpp"
+#include "net/epoll_loop.hpp"
+#include "obs/export.hpp"
+#include "obs/stitch.hpp"
+
+namespace frame::obs {
+
+namespace {
+
+/// Requests larger than this are garbage, not scrapes.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string http_response(int status, const char* content_type,
+                          const std::string& body) {
+  const char* reason = status == 200   ? "OK"
+                       : status == 404 ? "Not Found"
+                       : status == 405 ? "Method Not Allowed"
+                                       : "Bad Request";
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.0 " + std::to_string(status) + " " + reason + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpExporter>> HttpExporter::create(Options options,
+                                                           EpollLoop* loop) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kUnavailable, "socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable, "bind() failed");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable, "listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kUnavailable, "getsockname() failed");
+  }
+
+  auto server = std::unique_ptr<HttpExporter>(new HttpExporter());
+  server->loop_ = loop != nullptr ? loop : &EpollLoop::default_loop();
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(bound.sin_port);
+  server->options_ = std::move(options);
+  HttpExporter* raw = server.get();
+  const Status added =
+      server->loop_->add(fd, EPOLLIN, [raw](std::uint32_t) {
+        raw->on_listener_ready();
+      });
+  if (!added.is_ok()) {
+    ::close(fd);
+    return added;
+  }
+  FRAME_LOG_INFO("telemetry endpoint listening on 127.0.0.1:%u", raw->port_);
+  return server;
+}
+
+HttpExporter::~HttpExporter() {
+  if (listen_fd_ >= 0) {
+    loop_->remove_sync(listen_fd_);
+    ::close(listen_fd_);
+  }
+  // clients_ is loop-thread state: close the survivors on the loop thread
+  // (remove_sync is inline there) and wait for it to finish.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  loop_->post([&] {
+    for (auto& [fd, client] : clients_) {
+      loop_->remove_sync(fd);
+      ::close(fd);
+    }
+    clients_.clear();
+    {
+      std::lock_guard lock(mutex);
+      done = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock lock(mutex);
+  cv.wait(lock, [&] { return done; });
+}
+
+void HttpExporter::on_listener_ready() {
+  while (true) {
+    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (client < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      FRAME_LOG_WARN("telemetry accept failed: %s", std::strerror(errno));
+      return;
+    }
+    clients_.emplace(client, Client{});
+    const Status added = loop_->add(
+        client, EPOLLIN, [this, client](std::uint32_t events) {
+          on_client_ready(client, events);
+        });
+    if (!added.is_ok()) {
+      clients_.erase(client);
+      ::close(client);
+    }
+  }
+}
+
+std::string HttpExporter::handle(const std::string& path,
+                                 int& status_out) const {
+  status_out = 200;
+  if (path == "/metrics") {
+    return to_prometheus(collect_snapshot(0));
+  }
+  if (path == "/snapshot.json") {
+    return to_json(collect_snapshot());
+  }
+  if (path == "/healthz") {
+    if (options_.healthz) return options_.healthz();
+    return "{\"status\":\"ok\"}\n";
+  }
+  if (path == "/trace") {
+    if (options_.trace_dump) return options_.trace_dump();
+    return serialize_dump(collect_local_dump("local", 0));
+  }
+  status_out = 404;
+  return "not found\n";
+}
+
+void HttpExporter::on_client_ready(int fd, std::uint32_t events) {
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  Client& client = it->second;
+
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    close_client(fd);
+    return;
+  }
+
+  if ((events & EPOLLIN) != 0 && client.out.empty()) {
+    char buf[2048];
+    while (true) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        client.in.append(buf, static_cast<std::size_t>(n));
+        if (client.in.size() > kMaxRequestBytes) {
+          close_client(fd);
+          return;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_client(fd);  // peer closed before sending a full request
+      return;
+    }
+    const std::size_t header_end = client.in.find("\r\n\r\n");
+    if (header_end == std::string::npos) return;  // keep reading
+
+    // Request line: METHOD SP PATH SP VERSION.
+    const std::size_t line_end = client.in.find("\r\n");
+    const std::string line = client.in.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      client.out = http_response(400, "text/plain", "bad request\n");
+    } else if (line.substr(0, sp1) != "GET") {
+      client.out = http_response(405, "text/plain", "GET only\n");
+    } else {
+      std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t query = path.find('?');
+      if (query != std::string::npos) path.resize(query);
+      int status = 200;
+      const std::string body = handle(path, status);
+      const char* type = path == "/snapshot.json" || path == "/healthz"
+                             ? "application/json"
+                             : "text/plain; version=0.0.4";
+      client.out = http_response(status, type, body);
+    }
+    loop_->modify(fd, EPOLLIN | EPOLLOUT);
+  }
+
+  if ((events & EPOLLOUT) != 0 && !client.out.empty()) {
+    while (client.out_pos < client.out.size()) {
+      const ssize_t n = ::send(fd, client.out.data() + client.out_pos,
+                               client.out.size() - client.out_pos,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        client.out_pos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      close_client(fd);
+      return;
+    }
+    close_client(fd);  // HTTP/1.0: one response, then close
+  }
+}
+
+void HttpExporter::close_client(int fd) {
+  loop_->remove_sync(fd);
+  ::close(fd);
+  clients_.erase(fd);
+}
+
+}  // namespace frame::obs

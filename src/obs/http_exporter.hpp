@@ -1,0 +1,79 @@
+// Live telemetry endpoint: a minimal HTTP/1.0 server on the epoll reactor.
+//
+// Routes (GET only, connection: close):
+//   /metrics        Prometheus text exposition of the metrics registry
+//   /snapshot.json  full ObsSnapshot as JSON
+//   /healthz        role / peer-liveness / degraded-mode JSON (caller-fed)
+//   /trace          serialized TraceDump of the local tracer ring, for
+//                   cross-process stitching (obs/stitch.hpp)
+//
+// The server shares the reactor's loop thread: request parsing, snapshot
+// collection and response writes all run there, so a scrape never blocks
+// or races broker threads beyond what collect_snapshot() already tolerates.
+// Scrapes are explicitly cold-path; nothing here is on a message path.
+//
+// Lives in its own library (frame_obs_http): frame_net links frame_obs, so
+// the core obs library cannot link back against the transport layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.hpp"
+
+namespace frame {
+class EpollLoop;
+}  // namespace frame
+
+namespace frame::obs {
+
+class HttpExporter {
+ public:
+  struct Options {
+    /// TCP port to listen on (loopback); 0 picks an ephemeral port.
+    std::uint16_t port = 0;
+    /// Body for GET /healthz; default reports {"status":"ok"} only.
+    std::function<std::string()> healthz;
+    /// Body for GET /trace; default serializes the global tracer with a
+    /// zero anchor (single-process stitching still works).
+    std::function<std::string()> trace_dump;
+  };
+
+  /// Binds and registers on `loop` (EpollLoop::default_loop() if null).
+  static Result<std::unique_ptr<HttpExporter>> create(Options options,
+                                                      EpollLoop* loop = nullptr);
+
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// The bound port (resolved when Options::port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Routes `path` to its response body; empty optional = 404.  Exposed
+  /// for tests and for in-process scraping without a socket.
+  std::string handle(const std::string& path, int& status_out) const;
+
+ private:
+  HttpExporter() = default;
+  void on_listener_ready();
+  void on_client_ready(int fd, std::uint32_t events);
+  void close_client(int fd);
+
+  struct Client {
+    std::string in;
+    std::string out;
+    std::size_t out_pos = 0;
+  };
+
+  EpollLoop* loop_ = nullptr;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  Options options_;
+  std::unordered_map<int, Client> clients_;
+};
+
+}  // namespace frame::obs

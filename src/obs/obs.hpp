@@ -55,6 +55,31 @@ class EnabledScope {
   bool previous_;
 };
 
+namespace detail {
+// Which node this thread's engine code is executing on behalf of.  Runtime
+// threads (broker loops, frame handlers, publisher/subscriber loops) set it
+// once so that span events from node-agnostic engine code get attributed to
+// the right track when multi-process dumps are stitched.
+inline thread_local NodeId g_thread_node = kInvalidNode;
+}  // namespace detail
+
+inline NodeId thread_node() { return detail::g_thread_node; }
+inline void set_thread_node(NodeId node) { detail::g_thread_node = node; }
+
+/// RAII node attribution for a runtime thread or frame handler.
+class ThreadNodeScope {
+ public:
+  explicit ThreadNodeScope(NodeId node) : previous_(thread_node()) {
+    set_thread_node(node);
+  }
+  ~ThreadNodeScope() { set_thread_node(previous_); }
+  ThreadNodeScope(const ThreadNodeScope&) = delete;
+  ThreadNodeScope& operator=(const ThreadNodeScope&) = delete;
+
+ private:
+  NodeId previous_;
+};
+
 MetricsRegistry& registry();
 Tracer& tracer();
 inline DeadlineAccountant& accountant() {
@@ -71,20 +96,25 @@ void reset_all();
 // tail-calls the out-of-line recording body in hooks.cpp.
 // ---------------------------------------------------------------------------
 namespace detail {
-void publish_slow(TopicId topic, SeqNo seq, TimePoint now);
+void publish_slow(TopicId topic, SeqNo seq, TimePoint now,
+                  std::uint64_t trace_id);
 void proxy_admit_slow(TopicId topic, SeqNo seq, TimePoint now,
-                      Duration delta_pb, bool recovery);
+                      Duration delta_pb, bool recovery,
+                      std::uint64_t trace_id);
 void job_enqueue_slow(TopicId topic, SeqNo seq, TimePoint now, bool replicate,
-                      Duration dd_slack, Duration dr_slack);
+                      Duration dd_slack, Duration dr_slack,
+                      std::uint64_t trace_id);
 void dispatch_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
-                            Duration slack);
+                            Duration slack, std::uint64_t trace_id);
 void replicate_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
-                             Duration slack);
+                             Duration slack, std::uint64_t trace_id);
 void copy_dropped_slow(TopicId topic, SeqNo seq, TimePoint now);
-void delivered_slow(TopicId topic, SeqNo seq, TimePoint now, Duration e2e);
+void delivered_slow(TopicId topic, SeqNo seq, TimePoint now, Duration e2e,
+                    std::uint64_t trace_id);
 void job_queue_depth_slow(std::size_t depth);
 void replication_cancelled_drop_slow();
-void backup_replica_stored_slow(TopicId topic, TimePoint now);
+void backup_replica_stored_slow(TopicId topic, SeqNo seq, TimePoint now,
+                                std::uint64_t trace_id);
 void backup_prune_applied_slow(TopicId topic);
 void tcp_frame_sent_slow(std::size_t bytes);
 void tcp_frame_received_slow(std::size_t bytes);
@@ -113,37 +143,47 @@ void backup_joined_slow(NodeId node, TimePoint now);
 namespace hooks {
 
 /// Publisher proxy created a message (tc stamp).
-inline void publish(TopicId topic, SeqNo seq, TimePoint now) {
-  if (enabled()) detail::publish_slow(topic, seq, now);
+inline void publish(TopicId topic, SeqNo seq, TimePoint now,
+                    std::uint64_t trace_id = 0) {
+  if (enabled()) detail::publish_slow(topic, seq, now, trace_id);
 }
 
 /// Message Proxy admitted an arrival; `delta_pb` = tp - tc.
 inline void proxy_admit(TopicId topic, SeqNo seq, TimePoint now,
-                        Duration delta_pb, bool recovery) {
-  if (enabled()) detail::proxy_admit_slow(topic, seq, now, delta_pb, recovery);
+                        Duration delta_pb, bool recovery,
+                        std::uint64_t trace_id = 0) {
+  if (enabled()) {
+    detail::proxy_admit_slow(topic, seq, now, delta_pb, recovery, trace_id);
+  }
 }
 
 /// Job Generator enqueued a job; slacks are the remaining relative
 /// deadlines (Dd/Dr after subtracting the observed ΔPB).
 inline void job_enqueue(TopicId topic, SeqNo seq, TimePoint now,
-                        bool replicate, Duration dd_slack, Duration dr_slack) {
+                        bool replicate, Duration dd_slack, Duration dr_slack,
+                        std::uint64_t trace_id = 0) {
   if (enabled()) {
-    detail::job_enqueue_slow(topic, seq, now, replicate, dd_slack, dr_slack);
+    detail::job_enqueue_slow(topic, seq, now, replicate, dd_slack, dr_slack,
+                             trace_id);
   }
 }
 
 /// A Dispatcher executed the dispatch job with `slack` remaining until the
 /// absolute Lemma-2 deadline (kDurationInfinite = execution time unknown).
 inline void dispatch_executed(TopicId topic, SeqNo seq, TimePoint now,
-                              Duration slack) {
-  if (enabled()) detail::dispatch_executed_slow(topic, seq, now, slack);
+                              Duration slack, std::uint64_t trace_id = 0) {
+  if (enabled()) {
+    detail::dispatch_executed_slow(topic, seq, now, slack, trace_id);
+  }
 }
 
 /// A Replicator shipped the copy with `slack` remaining until the absolute
 /// Lemma-1 deadline.
 inline void replicate_executed(TopicId topic, SeqNo seq, TimePoint now,
-                               Duration slack) {
-  if (enabled()) detail::replicate_executed_slow(topic, seq, now, slack);
+                               Duration slack, std::uint64_t trace_id = 0) {
+  if (enabled()) {
+    detail::replicate_executed_slow(topic, seq, now, slack, trace_id);
+  }
 }
 
 /// A job referenced a copy no longer in the buffer, or an undelivered copy
@@ -153,8 +193,9 @@ inline void copy_dropped(TopicId topic, SeqNo seq, TimePoint now) {
 }
 
 /// Subscriber got the first copy of (topic, seq); `e2e` = ts - tc.
-inline void delivered(TopicId topic, SeqNo seq, TimePoint now, Duration e2e) {
-  if (enabled()) detail::delivered_slow(topic, seq, now, e2e);
+inline void delivered(TopicId topic, SeqNo seq, TimePoint now, Duration e2e,
+                      std::uint64_t trace_id = 0) {
+  if (enabled()) detail::delivered_slow(topic, seq, now, e2e, trace_id);
 }
 
 /// Job queue state after a push/pop.
@@ -168,8 +209,9 @@ inline void replication_cancelled_drop() {
 }
 
 /// Backup Buffer activity.
-inline void backup_replica_stored(TopicId topic, TimePoint now) {
-  if (enabled()) detail::backup_replica_stored_slow(topic, now);
+inline void backup_replica_stored(TopicId topic, SeqNo seq, TimePoint now,
+                                  std::uint64_t trace_id = 0) {
+  if (enabled()) detail::backup_replica_stored_slow(topic, seq, now, trace_id);
 }
 inline void backup_prune_applied(TopicId topic) {
   if (enabled()) detail::backup_prune_applied_slow(topic);

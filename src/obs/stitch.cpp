@@ -1,0 +1,664 @@
+#include "obs/stitch.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "obs/obs.hpp"
+
+namespace frame::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out.append(buf, std::min(static_cast<std::size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+constexpr std::uint8_t kMaxSpanKind =
+    static_cast<std::uint8_t>(SpanKind::kRedirect);
+
+/// Microseconds for Chrome trace "ts"/"dur" fields.
+double us(std::int64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace
+
+TraceDump collect_local_dump(std::string process, std::int64_t wall_anchor) {
+  TraceDump dump;
+  dump.process = std::move(process);
+  dump.wall_anchor = wall_anchor;
+  dump.recorded = tracer().recorded();
+  dump.dropped = tracer().dropped_total();
+  dump.spans = tracer().snapshot();
+  return dump;
+}
+
+std::string serialize_dump(const TraceDump& dump) {
+  std::string out;
+  out.reserve(64 + dump.spans.size() * 72);
+  out += "frame-trace-dump v1\n";
+  appendf(out, "process %s\n", dump.process.c_str());
+  appendf(out, "anchor %" PRId64 "\n", dump.wall_anchor);
+  appendf(out, "recorded %" PRIu64 "\n", dump.recorded);
+  appendf(out, "dropped %" PRIu64 "\n", dump.dropped);
+  for (const auto& ev : dump.spans) {
+    appendf(out,
+            "span %u %u %" PRIu64 " %u %" PRIu64 " %" PRId64 " %" PRId64
+            " %" PRId64 " %" PRId64 "\n",
+            static_cast<unsigned>(ev.kind), ev.topic, ev.seq, ev.node,
+            ev.trace_id, ev.at, ev.delta_pb, ev.dd_slack, ev.dr_slack);
+  }
+  out += "end\n";
+  return out;
+}
+
+std::vector<TraceDump> parse_dumps(std::string_view text) {
+  std::vector<TraceDump> dumps;
+  TraceDump* current = nullptr;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line == "frame-trace-dump v1") {
+      dumps.emplace_back();
+      current = &dumps.back();
+      continue;
+    }
+    if (current == nullptr) continue;
+    if (line.rfind("process ", 0) == 0) {
+      current->process = line.substr(8);
+    } else if (line.rfind("anchor ", 0) == 0) {
+      current->wall_anchor = std::strtoll(line.c_str() + 7, nullptr, 10);
+    } else if (line.rfind("recorded ", 0) == 0) {
+      current->recorded = std::strtoull(line.c_str() + 9, nullptr, 10);
+    } else if (line.rfind("dropped ", 0) == 0) {
+      current->dropped = std::strtoull(line.c_str() + 8, nullptr, 10);
+    } else if (line.rfind("span ", 0) == 0) {
+      unsigned kind = 0, topic = 0, node = 0;
+      std::uint64_t seq = 0, trace_id = 0;
+      std::int64_t at = 0, delta_pb = 0, dd = 0, dr = 0;
+      const int n = std::sscanf(
+          line.c_str(),
+          "span %u %u %" SCNu64 " %u %" SCNu64 " %" SCNd64 " %" SCNd64
+          " %" SCNd64 " %" SCNd64,
+          &kind, &topic, &seq, &node, &trace_id, &at, &delta_pb, &dd, &dr);
+      // Skip malformed lines and span kinds newer than this reader.
+      if (n != 9 || kind > kMaxSpanKind) continue;
+      SpanEvent ev;
+      ev.kind = static_cast<SpanKind>(kind);
+      ev.topic = static_cast<TopicId>(topic);
+      ev.seq = seq;
+      ev.node = static_cast<NodeId>(node);
+      ev.trace_id = trace_id;
+      ev.at = at;
+      ev.delta_pb = delta_pb;
+      ev.dd_slack = dd;
+      ev.dr_slack = dr;
+      current->spans.push_back(ev);
+    } else if (line == "end") {
+      current = nullptr;
+    }
+  }
+  return dumps;
+}
+
+StitchReport stitch(const std::vector<TraceDump>& dumps) {
+  StitchReport report;
+  for (std::size_t d = 0; d < dumps.size(); ++d) {
+    report.dropped_total += dumps[d].dropped;
+    for (const auto& ev : dumps[d].spans) {
+      StitchedEvent se;
+      se.event = ev;
+      se.wall_at = ev.at + dumps[d].wall_anchor;
+      se.dump = static_cast<std::uint32_t>(d);
+      report.events.push_back(se);
+    }
+  }
+  std::sort(report.events.begin(), report.events.end(),
+            [](const StitchedEvent& a, const StitchedEvent& b) {
+              if (a.wall_at != b.wall_at) return a.wall_at < b.wall_at;
+              if (a.event.trace_id != b.event.trace_id) {
+                return a.event.trace_id < b.event.trace_id;
+              }
+              return static_cast<std::uint8_t>(a.event.kind) <
+                     static_cast<std::uint8_t>(b.event.kind);
+            });
+
+  // First occurrence of each hop-defining kind per trace; the events are
+  // wall-ordered so "first" is the causally earliest surviving span.
+  struct TraceFirsts {
+    std::int64_t publish = -1;
+    std::int64_t admit = -1;
+    std::int64_t replicated = -1;
+    std::int64_t backup_stored = -1;
+    std::int64_t dispatch = -1;
+  };
+  std::unordered_map<std::uint64_t, TraceFirsts> firsts;
+  std::unordered_map<std::uint64_t, std::uint32_t> delivered_count;
+
+  for (const auto& se : report.events) {
+    const SpanEvent& ev = se.event;
+    if (ev.trace_id == 0) {
+      switch (ev.kind) {
+        case SpanKind::kCrash:
+          if (report.crash_wall < 0) report.crash_wall = se.wall_at;
+          break;
+        case SpanKind::kFailoverDetected:
+          if (report.detected_wall < 0 && report.crash_wall >= 0) {
+            report.detected_wall = se.wall_at;
+          }
+          break;
+        case SpanKind::kPromotion:
+          if (report.promotion_wall < 0) report.promotion_wall = se.wall_at;
+          break;
+        case SpanKind::kRedirect:
+          if (report.redirect_wall < 0 && report.crash_wall >= 0) {
+            report.redirect_wall = se.wall_at;
+          }
+          break;
+        default:
+          break;
+      }
+      continue;
+    }
+    TraceFirsts& f = firsts[ev.trace_id];
+    switch (ev.kind) {
+      case SpanKind::kPublish:
+        if (f.publish < 0) f.publish = se.wall_at;
+        break;
+      case SpanKind::kProxyAdmit:
+        if (f.admit < 0) {
+          f.admit = se.wall_at;
+          if (f.publish >= 0) {
+            report.delta_pb.add(static_cast<double>(se.wall_at - f.publish));
+          }
+        }
+        break;
+      case SpanKind::kReplicated:
+        if (f.replicated < 0) f.replicated = se.wall_at;
+        break;
+      case SpanKind::kBackupStored:
+        if (f.backup_stored < 0) {
+          f.backup_stored = se.wall_at;
+          if (f.replicated >= 0) {
+            report.delta_bb.add(
+                static_cast<double>(se.wall_at - f.replicated));
+          }
+        }
+        break;
+      case SpanKind::kDispatchStart:
+        if (f.dispatch < 0) f.dispatch = se.wall_at;
+        break;
+      case SpanKind::kDelivered: {
+        ++report.delivered_events;
+        // Exactly-once is per subscriber: the same trace delivered to two
+        // subscriber nodes is fan-out, to the same node twice is a bug.
+        const std::uint64_t key =
+            ev.trace_id ^ (static_cast<std::uint64_t>(ev.node) << 1) * 0x9e3779b97f4a7c15ull;
+        if (++delivered_count[key] > 1) ++report.duplicate_deliveries;
+        if (f.dispatch >= 0) {
+          report.delta_bs.add(static_cast<double>(se.wall_at - f.dispatch));
+        }
+        if (f.publish >= 0) {
+          report.e2e.add(static_cast<double>(se.wall_at - f.publish));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  report.trace_count = firsts.size();
+  if (report.crash_wall >= 0 && report.redirect_wall >= report.crash_wall) {
+    report.measured_x = report.redirect_wall - report.crash_wall;
+  }
+  return report;
+}
+
+namespace {
+
+/// Greedy lane packer: assigns each slice the lowest lane whose previous
+/// slice has ended, so slices on one (pid, tid) track never overlap.
+struct LanePacker {
+  std::vector<std::int64_t> lane_end;
+  std::uint32_t assign(std::int64_t start, std::int64_t end) {
+    for (std::size_t i = 0; i < lane_end.size(); ++i) {
+      if (lane_end[i] <= start) {
+        lane_end[i] = end;
+        return static_cast<std::uint32_t>(i + 1);
+      }
+    }
+    lane_end.push_back(end);
+    return static_cast<std::uint32_t>(lane_end.size());
+  }
+};
+
+}  // namespace
+
+std::string to_perfetto_json(const StitchReport& report) {
+  // Group message events into one slice per (node, trace): the interval a
+  // message was resident on that node.
+  struct Slice {
+    NodeId node;
+    std::uint64_t trace_id;
+    TopicId topic;
+    SeqNo seq;
+    std::int64_t start;
+    std::int64_t end;
+    std::string kinds;
+    std::uint32_t tid = 0;
+  };
+  std::map<std::pair<NodeId, std::uint64_t>, Slice> by_key;
+  for (const auto& se : report.events) {
+    const SpanEvent& ev = se.event;
+    if (ev.trace_id == 0) continue;
+    auto [it, fresh] = by_key.try_emplace(
+        {ev.node, ev.trace_id},
+        Slice{ev.node, ev.trace_id, ev.topic, ev.seq, se.wall_at, se.wall_at,
+              {}, 0});
+    Slice& s = it->second;
+    s.start = std::min(s.start, se.wall_at);
+    s.end = std::max(s.end, se.wall_at);
+    if (!s.kinds.empty()) s.kinds += ",";
+    s.kinds += to_string(ev.kind);
+  }
+
+  std::vector<Slice> slices;
+  slices.reserve(by_key.size());
+  for (auto& [key, s] : by_key) slices.push_back(std::move(s));
+  std::sort(slices.begin(), slices.end(), [](const Slice& a, const Slice& b) {
+    if (a.node != b.node) return a.node < b.node;
+    return a.start < b.start;
+  });
+
+  // Lane-pack per node so no two slices share a track interval; a slice
+  // needs a nonzero duration to be visible and to make overlap checking
+  // meaningful, so clamp to >= 1ns.
+  std::map<NodeId, LanePacker> packers;
+  for (auto& s : slices) {
+    const std::int64_t end = std::max(s.end, s.start + 1);
+    s.tid = packers[s.node].assign(s.start, end);
+  }
+
+  std::string out;
+  out.reserve(4096 + slices.size() * 192);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+
+  for (const auto& [node, packer] : packers) {
+    sep();
+    appendf(out,
+            "\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
+            "\"args\":{\"name\":\"node %u\"}}",
+            node, node);
+  }
+
+  // Message slices.
+  for (const auto& s : slices) {
+    const std::int64_t dur = std::max<std::int64_t>(s.end - s.start, 1);
+    sep();
+    appendf(out,
+            "\n{\"ph\":\"X\",\"name\":\"t%u#%" PRIu64
+            "\",\"cat\":\"message\",\"pid\":%u,\"tid\":%u,"
+            "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":\"%" PRIx64
+            "\",\"kinds\":\"%s\"}}",
+            s.topic, s.seq, s.node, s.tid, us(s.start), us(dur), s.trace_id,
+            s.kinds.c_str());
+  }
+
+  // Flow arrows: one chain per trace id across its node slices in time
+  // order (start -> step... -> finish).
+  std::map<std::uint64_t, std::vector<const Slice*>> chains;
+  for (const auto& s : slices) chains[s.trace_id].push_back(&s);
+  for (auto& [trace_id, chain] : chains) {
+    if (chain.size() < 2) continue;
+    std::sort(chain.begin(), chain.end(),
+              [](const Slice* a, const Slice* b) { return a->start < b->start; });
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      const Slice& s = *chain[i];
+      const char* ph = i == 0 ? "s" : (i + 1 == chain.size() ? "f" : "t");
+      sep();
+      appendf(out,
+              "\n{\"ph\":\"%s\",%s\"name\":\"msg\",\"cat\":\"flow\","
+              "\"id\":\"%" PRIx64 "\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f}",
+              ph, std::strcmp(ph, "s") == 0 ? "" : "\"bp\":\"e\",", trace_id,
+              s.node, s.tid, us(i == 0 ? s.end : s.start));
+    }
+  }
+
+  // Failover timeline as global instants on tid 0 of their node.
+  struct Marker {
+    const char* name;
+    std::int64_t wall;
+  };
+  const Marker markers[] = {{"crash", report.crash_wall},
+                            {"failover-detected", report.detected_wall},
+                            {"promotion", report.promotion_wall},
+                            {"redirect", report.redirect_wall}};
+  for (const auto& m : markers) {
+    if (m.wall < 0) continue;
+    sep();
+    appendf(out,
+            "\n{\"ph\":\"i\",\"s\":\"g\",\"name\":\"%s\",\"cat\":\"failover\","
+            "\"pid\":0,\"tid\":0,\"ts\":%.3f}",
+            m.name, us(m.wall));
+  }
+
+  appendf(out,
+          "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+          "\"traces\":%" PRIu64 ",\"dropped_total\":%" PRIu64 "}}\n",
+          report.trace_count, report.dropped_total);
+  return out;
+}
+
+std::string stitch_summary(const StitchReport& report) {
+  std::string out;
+  appendf(out, "stitched %zu events across %" PRIu64 " traces",
+          report.events.size(), report.trace_count);
+  appendf(out, " (dropped %" PRIu64 ")\n", report.dropped_total);
+  auto stat = [&](const char* name, const OnlineStats& s) {
+    if (s.count() == 0) return;
+    appendf(out, "%-4s n=%-6zu mean=%.3fms min=%.3fms max=%.3fms\n", name,
+            s.count(), s.mean() / 1e6, s.min() / 1e6, s.max() / 1e6);
+  };
+  stat("dPB", report.delta_pb);
+  stat("dBB", report.delta_bb);
+  stat("dBS", report.delta_bs);
+  stat("e2e", report.e2e);
+  appendf(out, "delivered=%" PRIu64 " duplicate_deliveries=%" PRIu64 "\n",
+          report.delivered_events, report.duplicate_deliveries);
+  if (report.crash_wall >= 0) {
+    appendf(out, "crash at %.3fms", static_cast<double>(report.crash_wall) / 1e6);
+    if (report.detected_wall >= 0) {
+      appendf(out, ", detected +%.3fms",
+              static_cast<double>(report.detected_wall - report.crash_wall) / 1e6);
+    }
+    if (report.promotion_wall >= 0) {
+      appendf(out, ", promoted +%.3fms",
+              static_cast<double>(report.promotion_wall - report.crash_wall) / 1e6);
+    }
+    if (report.measured_x >= 0) {
+      appendf(out, ", measured x = %.3fms",
+              static_cast<double>(report.measured_x) / 1e6);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser, sufficient to validate to_perfetto_json output (and
+// to reject anything that is not JSON at all).
+// ---------------------------------------------------------------------------
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = value();
+    if (!v.has_value()) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  std::optional<JsonValue> object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (!consume('{')) return std::nullopt;
+    if (consume('}')) return v;
+    while (true) {
+      auto key = string_literal();
+      if (!key.has_value() || !consume(':')) return std::nullopt;
+      auto member = value();
+      if (!member.has_value()) return std::nullopt;
+      v.object.emplace_back(std::move(*key), std::move(*member));
+      if (consume('}')) return v;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (!consume('[')) return std::nullopt;
+    if (consume(']')) return v;
+    while (true) {
+      auto member = value();
+      if (!member.has_value()) return std::nullopt;
+      v.array.push_back(std::move(*member));
+      if (consume(']')) return v;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> string_literal() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            pos_ += 4;  // validated but not decoded; good enough here
+            out += '?';
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> string_value() {
+    auto s = string_literal();
+    if (!s.has_value()) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    v.str = std::move(*s);
+    return v;
+  }
+
+  std::optional<JsonValue> boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      v.boolean = true;
+      return v;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> null() {
+    if (text_.substr(pos_, 4) != "null") return std::nullopt;
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  std::optional<JsonValue> number() {
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) return std::nullopt;
+    pos_ += static_cast<std::size_t>(end - start);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status validate_perfetto_json(std::string_view json) {
+  JsonParser parser(json);
+  const auto root = parser.parse();
+  if (!root.has_value() || root->type != JsonValue::Type::kObject) {
+    return Status(StatusCode::kProtocolError, "not a JSON object");
+  }
+  const JsonValue* events = root->find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    return Status(StatusCode::kProtocolError, "missing traceEvents array");
+  }
+
+  struct Interval {
+    double ts;
+    double dur;
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, std::vector<Interval>> tracks;
+  std::unordered_set<std::string> flow_starts;
+  std::vector<std::string> flow_refs;
+
+  for (const auto& ev : events->array) {
+    if (ev.type != JsonValue::Type::kObject) {
+      return Status(StatusCode::kProtocolError, "event is not an object");
+    }
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString) {
+      return Status(StatusCode::kProtocolError, "event missing ph");
+    }
+    if (ph->str == "X") {
+      const JsonValue* pid = ev.find("pid");
+      const JsonValue* tid = ev.find("tid");
+      const JsonValue* ts = ev.find("ts");
+      const JsonValue* dur = ev.find("dur");
+      if (pid == nullptr || tid == nullptr || ts == nullptr || dur == nullptr ||
+          ts->type != JsonValue::Type::kNumber ||
+          dur->type != JsonValue::Type::kNumber) {
+        return Status(StatusCode::kProtocolError,
+                      "X event missing pid/tid/ts/dur");
+      }
+      tracks[{static_cast<std::int64_t>(pid->number),
+              static_cast<std::int64_t>(tid->number)}]
+          .push_back(Interval{ts->number, dur->number});
+    } else if (ph->str == "s" || ph->str == "t" || ph->str == "f") {
+      const JsonValue* id = ev.find("id");
+      if (id == nullptr || id->type != JsonValue::Type::kString) {
+        return Status(StatusCode::kProtocolError, "flow event missing id");
+      }
+      if (ph->str == "s") {
+        flow_starts.insert(id->str);
+      } else {
+        flow_refs.push_back(id->str);
+      }
+    }
+  }
+
+  for (auto& [key, intervals] : tracks) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) { return a.ts < b.ts; });
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      // Sub-nanosecond tolerance: ts values are printed at ns resolution.
+      if (intervals[i].ts + 1e-4 < intervals[i - 1].ts + intervals[i - 1].dur) {
+        return Status(StatusCode::kProtocolError,
+                      "overlapping slices on one track");
+      }
+    }
+  }
+  for (const auto& id : flow_refs) {
+    if (flow_starts.find(id) == flow_starts.end()) {
+      return Status(StatusCode::kProtocolError,
+                    "flow step/finish without a start");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace frame::obs

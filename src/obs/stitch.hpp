@@ -1,0 +1,105 @@
+// Cross-process span stitching.
+//
+// Every process (or in-process EdgeSystem) dumps its Tracer ring as a
+// TraceDump: the spans, plus a wall-clock anchor that maps the process's
+// monotonic timeline onto the shared wall clock (wall = at + anchor).
+// stitch() merges any number of dumps into one causally-ordered timeline
+// keyed by the wire trace id, measures the paper's per-hop latencies
+// directly from span timestamps —
+//   ΔPB  publish        -> proxy-admit   (publisher -> broker)
+//   ΔBB  replicated     -> backup-stored (Primary   -> Backup)
+//   ΔBS  dispatch-start -> delivered     (broker    -> subscriber)
+//   x    crash          -> redirect      (failover, Section III-B)
+// — and to_perfetto_json() renders the result as Chrome trace_event /
+// Perfetto JSON: one track group per node, one slice per (message, node)
+// residency, flow arrows following each message across nodes, and the
+// failover timeline as instant events.
+//
+// Lives in frame_obs (no transport dependency); the HTTP exporter and the
+// frame_analyze --stitch subcommand are thin shells over this module.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "obs/trace.hpp"
+
+namespace frame::obs {
+
+/// One process's tracer dump plus the clock anchor needed to stitch it.
+struct TraceDump {
+  std::string process;          ///< label, e.g. "edge-system" or "broker-1"
+  std::int64_t wall_anchor = 0; ///< wall_now_ns() - mono now(), at dump time
+  std::uint64_t recorded = 0;   ///< Tracer::recorded() at dump time
+  std::uint64_t dropped = 0;    ///< Tracer::dropped_total() at dump time
+  std::vector<SpanEvent> spans;
+};
+
+/// Snapshot of the global tracer as a dump.  `wall_anchor` must be
+/// wall_now_ns() - <driving clock now> so spans land on the wall axis.
+TraceDump collect_local_dump(std::string process, std::int64_t wall_anchor);
+
+/// Line-oriented text form (stable across processes; safe to concatenate).
+std::string serialize_dump(const TraceDump& dump);
+
+/// Parses one or more concatenated serialized dumps.  Unknown lines and
+/// unknown span kinds are skipped so old readers survive new writers.
+std::vector<TraceDump> parse_dumps(std::string_view text);
+
+/// A span event placed on the wall-clock axis.
+struct StitchedEvent {
+  SpanEvent event;
+  std::int64_t wall_at = 0;   ///< event.at + owning dump's wall_anchor
+  std::uint32_t dump = 0;     ///< index into the stitched dump list
+};
+
+/// The merged timeline and the per-hop measurements derived from it.
+struct StitchReport {
+  std::vector<StitchedEvent> events;  ///< causally ordered (wall time)
+  std::uint64_t trace_count = 0;      ///< distinct nonzero trace ids
+
+  // Per-hop latencies measured from span timestamps (nanoseconds).
+  OnlineStats delta_pb;  ///< publish -> first proxy-admit
+  OnlineStats delta_bb;  ///< replicated -> backup-stored
+  OnlineStats delta_bs;  ///< dispatch-start -> delivered
+  OnlineStats e2e;       ///< publish -> delivered
+
+  // Failover timeline on the wall axis (-1 = event absent).
+  std::int64_t crash_wall = -1;
+  std::int64_t detected_wall = -1;
+  std::int64_t promotion_wall = -1;
+  std::int64_t redirect_wall = -1;
+  Duration measured_x = -1;  ///< first redirect after crash - crash
+
+  std::uint64_t delivered_events = 0;
+  /// kDelivered seen more than once for the same (subscriber node, trace):
+  /// nonzero means exactly-once delivery was violated somewhere.
+  std::uint64_t duplicate_deliveries = 0;
+  /// Summed Tracer losses across dumps; nonzero means the timeline is
+  /// incomplete and absence of an event proves nothing.
+  std::uint64_t dropped_total = 0;
+};
+
+StitchReport stitch(const std::vector<TraceDump>& dumps);
+
+/// Chrome trace_event ("traceEvents") JSON.  One process group per node,
+/// message slices lane-packed so slices on one track never overlap, one
+/// flow arrow chain per trace id, failover markers as instants.
+std::string to_perfetto_json(const StitchReport& report);
+
+/// Human-readable stitched summary (per-hop stats + failover timeline).
+std::string stitch_summary(const StitchReport& report);
+
+/// Validates Perfetto JSON produced by to_perfetto_json (or anything
+/// shaped like it): parses as JSON, every "X" slice has ts/dur and no two
+/// slices on one (pid, tid) track overlap, and every flow finish ("f")
+/// resolves to a flow start ("s") with the same id.
+Status validate_perfetto_json(std::string_view json);
+
+}  // namespace frame::obs

@@ -28,6 +28,10 @@ std::string_view to_string(SpanKind kind) {
       return "promotion";
     case SpanKind::kRetentionReplay:
       return "retention-replay";
+    case SpanKind::kBackupStored:
+      return "backup-stored";
+    case SpanKind::kRedirect:
+      return "redirect";
   }
   return "unknown";
 }

@@ -35,9 +35,25 @@ enum class SpanKind : std::uint8_t {
   kFailoverDetected = 8,   ///< a detector suspected the Primary
   kPromotion = 9,          ///< Backup finished promoting itself
   kRetentionReplay = 10,   ///< publisher finished re-sending retained copies
+  kBackupStored = 11,      ///< Backup Buffer stored a replica (ends ΔBB)
+  kRedirect = 12,          ///< publisher switched to the Backup (ends x)
 };
 
 std::string_view to_string(SpanKind kind);
+
+/// Deterministic 64-bit trace id for a message minted at `node`: a
+/// splitmix64-style mix of (node, topic, seq).  Never returns 0 (the wire
+/// codec's "no trace context" sentinel), and the determinism lets any
+/// process re-derive the id when correlating by (topic, seq).
+constexpr std::uint64_t make_trace_id(std::uint64_t node, std::uint64_t topic,
+                                      std::uint64_t seq) {
+  std::uint64_t z =
+      (node << 48) ^ (topic << 32) ^ seq ^ 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z | 1;
+}
 
 /// One lifecycle event.  Fields that do not apply to a kind are
 /// kDurationInfinite / 0.
@@ -46,6 +62,7 @@ struct SpanEvent {
   TopicId topic = kInvalidTopic;
   SeqNo seq = 0;
   NodeId node = kInvalidNode;
+  std::uint64_t trace_id = 0;             ///< wire trace context; 0 = none
   TimePoint at = 0;                       ///< driving-clock timestamp
   Duration delta_pb = kDurationInfinite;  ///< observed ΔPB (admit spans)
   Duration dd_slack = kDurationInfinite;  ///< remaining dispatch-deadline slack
@@ -71,6 +88,20 @@ class Tracer {
   /// Events lost to slot contention (not to ring wraparound).
   std::uint64_t contention_drops() const {
     return drops_.load(std::memory_order_relaxed);
+  }
+  /// Lower bound on events lost to ring wraparound: once `recorded()`
+  /// exceeds the capacity, at least that many oldest events were
+  /// overwritten and a snapshot is no longer a complete timeline.
+  std::uint64_t overflow_drops() const {
+    const std::uint64_t n = recorded();
+    const std::uint64_t cap = capacity();
+    return n > cap ? n - cap : 0;
+  }
+  /// Total events a snapshot can no longer contain (overflow + contention).
+  /// Exported as frame_trace_dropped_total so a wrapped ring cannot
+  /// masquerade as a complete timeline.
+  std::uint64_t dropped_total() const {
+    return overflow_drops() + contention_drops();
   }
 
   /// Best-effort copy of the retained events, oldest first.

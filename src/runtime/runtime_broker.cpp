@@ -115,6 +115,9 @@ void RuntimeBroker::on_frame(NodeId from, std::vector<std::uint8_t> frame) {
       stop_.load(std::memory_order_acquire)) {
     return;
   }
+  // Attribute any spans recorded while handling this frame (engine code
+  // is node-agnostic) to this broker, whatever thread the bus used.
+  obs::ThreadNodeScope node_scope(options_.node);
   // CRC32C gate: a corrupted or truncated frame is rejected before any
   // dispatch on the type tag, so garbage never reaches an engine.
   if (!frame_checksum_ok(frame)) {
@@ -240,6 +243,7 @@ bool RuntimeBroker::mark_dispatched_locked(TopicId topic, SeqNo seq) {
 }
 
 void RuntimeBroker::delivery_loop() {
+  obs::ThreadNodeScope node_scope(options_.node);
   std::unique_lock lock(mutex_);
   while (true) {
     job_cv_.wait(lock, [&] {
@@ -263,6 +267,7 @@ void RuntimeBroker::delivery_loop() {
       if (effect.executed) {
         Message msg = effect.msg;
         msg.dispatched_at = clock_.now();
+        if (msg.trace_id != 0) ++msg.hop;  // crossing broker -> subscriber
         const auto frame = encode_message_frame(WireType::kDeliver, msg);
         for (const NodeId subscriber : effect.subscribers) {
           eventsvc::Event event;
@@ -282,7 +287,9 @@ void RuntimeBroker::delivery_loop() {
       lock.unlock();
       if (effect.executed && options_.peer != kInvalidNode &&
           has_peer_.load(std::memory_order_acquire)) {
-        send_message(options_.peer, WireType::kReplicate, effect.msg);
+        Message copy = effect.msg;
+        if (copy.trace_id != 0) ++copy.hop;  // crossing Primary -> Backup
+        send_message(options_.peer, WireType::kReplicate, copy);
       }
       lock.lock();
     }
@@ -290,6 +297,7 @@ void RuntimeBroker::delivery_loop() {
 }
 
 void RuntimeBroker::detector_loop() {
+  obs::ThreadNodeScope node_scope(options_.node);
   PollingFailureDetector detector(options_.poll_period,
                                   options_.poll_miss_threshold);
   detector.start(clock_.now());

@@ -47,6 +47,7 @@ void RuntimePublisher::on_frame(NodeId from, std::vector<std::uint8_t> frame) {
 }
 
 void RuntimePublisher::run_loop() {
+  obs::ThreadNodeScope node_scope(options_.node);
   PollingFailureDetector detector(options_.poll_period,
                                   options_.poll_miss_threshold);
   detector.start(clock_.now());

@@ -73,6 +73,7 @@ class RuntimeSubscriber {
 
  private:
   void on_frame(std::vector<std::uint8_t> frame) {
+    obs::ThreadNodeScope node_scope(node_);
     if (!frame_checksum_ok(frame)) {
       corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
       obs::hooks::wire_corrupt_frame(node_);

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <thread>
 
+#include "common/log.hpp"
 #include "obs/obs.hpp"
 
 namespace frame::runtime {
@@ -105,9 +106,49 @@ EdgeSystem::EdgeSystem(SystemOptions options, std::vector<ProxyGroup> proxies)
     publisher_topics_.push_back(std::move(ids));
     ++pub_node;
   }
+
+  if (options_.telemetry_port.has_value()) {
+    obs::HttpExporter::Options http;
+    http.port = *options_.telemetry_port;
+    http.healthz = [this] { return healthz_json(); };
+    http.trace_dump = [this] { return obs::serialize_dump(trace_dump()); };
+    auto endpoint = obs::HttpExporter::create(std::move(http));
+    if (endpoint.is_ok()) {
+      telemetry_ = endpoint.take();
+    } else {
+      FRAME_LOG_WARN("telemetry endpoint disabled: %s",
+                     endpoint.status().message().c_str());
+    }
+  }
 }
 
 EdgeSystem::~EdgeSystem() { stop(); }
+
+std::string EdgeSystem::healthz_json() const {
+  const bool primary_serving = primary_->is_primary();
+  const bool backup_serving = backup_->is_primary();
+  const bool degraded = primary_serving && !primary_->has_live_peer();
+  std::size_t failed_over = 0;
+  for (const auto& pub : publishers_) {
+    if (pub->failed_over()) ++failed_over;
+  }
+  std::string out = "{\"status\":\"";
+  out += backup_serving ? "failed-over" : (degraded ? "degraded" : "ok");
+  out += "\",\"role\":\"";
+  out += backup_serving ? "backup-promoted" : "primary";
+  out += "\",\"primary_serving\":";
+  out += primary_serving ? "true" : "false";
+  out += ",\"backup_serving\":";
+  out += backup_serving ? "true" : "false";
+  out += ",\"primary_sees_live_peer\":";
+  out += primary_->has_live_peer() ? "true" : "false";
+  out += ",\"degraded\":";
+  out += degraded ? "true" : "false";
+  out += ",\"publishers_failed_over\":" + std::to_string(failed_over);
+  out += ",\"publishers\":" + std::to_string(publishers_.size());
+  out += "}\n";
+  return out;
+}
 
 int EdgeSystem::subscriber_index_of(TopicId topic) const {
   if (topics_[topic].destination == Destination::kCloud) return 2;

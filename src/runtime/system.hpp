@@ -11,6 +11,8 @@
 #include "net/faulty_bus.hpp"
 #include "net/inproc_bus.hpp"
 #include "net/tcp_bus.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/stitch.hpp"
 #include "runtime/runtime_broker.hpp"
 #include "runtime/runtime_publisher.hpp"
 #include "runtime/runtime_subscriber.hpp"
@@ -44,6 +46,10 @@ struct SystemOptions {
   /// When set, the transport is wrapped in a FaultyBus applying this
   /// scripted fault plan (works over inproc and TCP alike).
   std::optional<FaultPlan> fault_plan;
+  /// When set, serve live telemetry (GET /metrics, /snapshot.json,
+  /// /healthz, /trace) on this loopback port; 0 picks an ephemeral port
+  /// (read it back via EdgeSystem::telemetry_port()).
+  std::optional<std::uint16_t> telemetry_port;
 };
 
 /// Node-id layout of the assembled system.
@@ -100,6 +106,21 @@ class EdgeSystem {
   FaultyBus* faults() { return faulty_; }
   const SystemNodes& nodes() const { return nodes_; }
 
+  /// Bound telemetry port; 0 when options.telemetry_port was not set.
+  std::uint16_t telemetry_port() const {
+    return telemetry_ ? telemetry_->port() : 0;
+  }
+
+  /// Role / peer-liveness / degraded-mode summary (the /healthz body).
+  std::string healthz_json() const;
+
+  /// The local tracer ring as a stitchable dump, wall-anchored against
+  /// this system's driving clock.
+  obs::TraceDump trace_dump(std::string process = "edge-system") const {
+    return obs::collect_local_dump(std::move(process),
+                                   wall_now_ns() - clock_.now());
+  }
+
   const std::vector<TopicSpec>& topics() const { return topics_; }
   int subscriber_index_of(TopicId topic) const;
 
@@ -127,6 +148,7 @@ class EdgeSystem {
   std::vector<std::unique_ptr<RuntimeSubscriber>> subscribers_;
   std::vector<std::unique_ptr<RuntimePublisher>> publishers_;
   std::vector<std::vector<TopicId>> publisher_topics_;
+  std::unique_ptr<obs::HttpExporter> telemetry_;
 };
 
 }  // namespace frame::runtime

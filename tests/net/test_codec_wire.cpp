@@ -93,6 +93,54 @@ TEST(Wire, MessageFrameRoundTrip) {
   EXPECT_EQ(std::memcmp(decoded->payload.data(), msg.payload.data(), 16), 0);
 }
 
+TEST(Wire, TraceContextRoundTripsOverEveryMessageType) {
+  Message msg = make_test_message(3, 12, milliseconds(50));
+  msg.trace_id = 0xfeedfacecafebeefull;
+  msg.trace_anchor = -1234567890123456789ll;
+  msg.hop = 2;
+  for (const WireType type : {WireType::kPublish, WireType::kDeliver,
+                              WireType::kReplicate, WireType::kResend}) {
+    const auto frame = encode_message_frame(type, msg);
+    const auto decoded = decode_message_frame(frame);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->trace_id, msg.trace_id);
+    EXPECT_EQ(decoded->trace_anchor, msg.trace_anchor);
+    EXPECT_EQ(decoded->hop, msg.hop);
+  }
+}
+
+TEST(Wire, UntracedMessageAddsZeroWireBytes) {
+  // The trace-context block must cost nothing when tracing is off: an
+  // untraced frame is byte-identical in size to the pre-trace encoding.
+  Message traced = make_test_message(1, 1, 0);
+  Message untraced = traced;
+  traced.trace_id = 1;
+  const auto traced_frame = encode_message_frame(WireType::kPublish, traced);
+  const auto untraced_frame =
+      encode_message_frame(WireType::kPublish, untraced);
+  EXPECT_EQ(traced_frame.size(),
+            untraced_frame.size() + 8 + 8 + 1);  // id + anchor + hop
+  const auto decoded = decode_message_frame(untraced_frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->trace_id, 0u);
+  EXPECT_EQ(decoded->trace_anchor, 0);
+  EXPECT_EQ(decoded->hop, 0);
+}
+
+TEST(Wire, TraceFlagWithZeroTraceIdRejected) {
+  // A frame claiming a trace block whose trace id is 0 is malformed:
+  // encoders never produce it (ids are minted with |1) and accepting it
+  // would alias the "no trace" state.
+  Message msg = make_test_message(1, 1, 0);
+  msg.trace_id = 0x0100;  // one nonzero byte at offset +1 of the id
+  auto frame = encode_message_frame(WireType::kPublish, msg);
+  // Zero out the trace id (the 17 trace bytes sit just before the seal).
+  const std::size_t id_at = frame.size() - kFrameChecksumSize - 17;
+  for (std::size_t i = 0; i < 8; ++i) frame[id_at + i] = 0;
+  reseal(frame);
+  EXPECT_FALSE(decode_message_frame(frame).has_value());
+}
+
 TEST(Wire, AllMessageCarryingTypesDecode) {
   const Message msg = make_test_message(1, 1, 0);
   for (const WireType type : {WireType::kPublish, WireType::kDeliver,
@@ -205,6 +253,11 @@ TEST_P(WireProperty, RandomMessagesRoundTrip) {
         static_cast<TimePoint>(rng.next_below(1u << 30)),
         rng.next_below(kMaxPayload + 1));
     msg.recovered = rng.next_double() < 0.5;
+    if (rng.next_double() < 0.5) {
+      msg.trace_id = rng.next_u64() | 1;
+      msg.trace_anchor = static_cast<std::int64_t>(rng.next_u64());
+      msg.hop = static_cast<std::uint8_t>(rng.next_below(4));
+    }
     const auto frame = encode_message_frame(WireType::kDeliver, msg);
     const auto decoded = decode_message_frame(frame);
     ASSERT_TRUE(decoded.has_value());
@@ -212,6 +265,9 @@ TEST_P(WireProperty, RandomMessagesRoundTrip) {
     EXPECT_EQ(decoded->seq, msg.seq);
     EXPECT_EQ(decoded->payload_size, msg.payload_size);
     EXPECT_EQ(decoded->recovered, msg.recovered);
+    EXPECT_EQ(decoded->trace_id, msg.trace_id);
+    EXPECT_EQ(decoded->trace_anchor, msg.trace_anchor);
+    EXPECT_EQ(decoded->hop, msg.hop);
   }
 }
 

@@ -50,7 +50,8 @@ TEST(Export, JsonContainsInstrumentsAndTopicAccount) {
   EXPECT_NE(json.find("\"losses_total\":2,\"max_loss_streak\":2"),
             std::string::npos);
   EXPECT_NE(json.find("\"loss_budget_exceeded\":false"), std::string::npos);
-  EXPECT_NE(json.find("\"tracer\": {\"recorded\": 1, \"contention_drops\": 0}"),
+  EXPECT_NE(json.find("\"tracer\": {\"recorded\": 1, \"contention_drops\": 0, "
+                      "\"dropped_total\": 0}"),
             std::string::npos);
 }
 
@@ -84,7 +85,7 @@ TEST(Export, TableShowsTopicRowAndTracerLine) {
   EXPECT_NE(table.find("0      2      150.0"), std::string::npos) << table;
   EXPECT_NE(table.find("ok"), std::string::npos);
   EXPECT_NE(table.find("test_export_events_total"), std::string::npos);
-  EXPECT_NE(table.find("spans recorded 1 (contention drops 0"),
+  EXPECT_NE(table.find("spans recorded 1 (dropped 0: contention 0"),
             std::string::npos);
   // No crash gauge was set: the failover timeline is omitted.
   EXPECT_EQ(table.find("failover timeline"), std::string::npos);
@@ -107,6 +108,78 @@ TEST(Export, FailoverTimelineAppearsWithCrashGauges) {
       table.find(
           "publishers redirected t=1040.000 ms  (+40.000 ms)  <- measured x"),
       std::string::npos);
+}
+
+TEST(Export, PrometheusEmitsTraceCounters) {
+  const std::string prom = to_prometheus(known_snapshot());
+  EXPECT_NE(prom.find("# TYPE frame_trace_recorded_total counter\n"
+                      "frame_trace_recorded_total 1\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE frame_trace_dropped_total counter\n"
+                      "frame_trace_dropped_total 0\n"),
+            std::string::npos);
+}
+
+TEST(Export, PrometheusNameSanitization) {
+  EXPECT_EQ(prometheus_sanitize_name("frame_events_total"),
+            "frame_events_total");
+  EXPECT_EQ(prometheus_sanitize_name("queue depth:now"), "queue_depth:now");
+  EXPECT_EQ(prometheus_sanitize_name("9lives"), "_lives");
+  EXPECT_EQ(prometheus_sanitize_name("bad\nname\"with\\stuff"),
+            "bad_name_with_stuff");
+  EXPECT_EQ(prometheus_sanitize_name("d\xC3\xA9j\xC3\xA0_vu"), "d__j___vu");
+  EXPECT_EQ(prometheus_sanitize_name(""), "_");
+}
+
+TEST(Export, PrometheusLabelEscaping) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("quote\"back\\slash"),
+            "quote\\\"back\\\\slash");
+  EXPECT_EQ(prometheus_escape_label("line\nbreak"), "line\\nbreak");
+  // UTF-8 passes through untouched: label values are opaque strings.
+  EXPECT_EQ(prometheus_escape_label("d\xC3\xA9j\xC3\xA0"), "d\xC3\xA9j\xC3\xA0");
+}
+
+TEST(Export, JsonEscaping) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("tab\there\nnewline\rret"),
+            "tab\\there\\nnewline\\rret");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(Export, HostileInstrumentNamesProduceValidExposition) {
+  reset_all();
+  registry().counter("bad name\nwith \"quotes\"").add(7);
+  const std::string prom = to_prometheus(collect_snapshot(0));
+  // No raw newline inside a metric name: every line starts with a comment
+  // marker or a [a-zA-Z_:] name byte.
+  EXPECT_NE(prom.find("# TYPE bad_name_with__quotes_ counter\n"
+                      "bad_name_with__quotes_ 7\n"),
+            std::string::npos)
+      << prom;
+  const std::string json = to_json(collect_snapshot(0));
+  EXPECT_NE(json.find("\"bad name\\nwith \\\"quotes\\\"\": 7"),
+            std::string::npos)
+      << json;
+}
+
+TEST(Export, RingOverflowSurfacesAsDroppedTotal) {
+  reset_all();
+  SpanEvent event;
+  event.kind = SpanKind::kPublish;
+  const std::size_t capacity = tracer().capacity();
+  for (std::size_t i = 0; i < capacity + 5; ++i) {
+    event.seq = i;
+    tracer().record(event);
+  }
+  EXPECT_EQ(tracer().overflow_drops(), 5u);
+  EXPECT_EQ(tracer().dropped_total(), 5u + tracer().contention_drops());
+  const std::string prom = to_prometheus(collect_snapshot(0));
+  EXPECT_NE(prom.find("frame_trace_dropped_total 5\n"), std::string::npos)
+      << prom;
+  reset_all();  // don't leak a saturated ring into other tests
 }
 
 TEST(Export, HooksAreInertWhenDisabledAndRecordWhenEnabled) {

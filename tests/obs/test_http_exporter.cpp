@@ -1,0 +1,121 @@
+// Telemetry endpoint tests: a real loopback client scrapes the server that
+// runs on the epoll reactor.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/http_exporter.hpp"
+#include "obs/obs.hpp"
+#include "obs/stitch.hpp"
+
+namespace frame::obs {
+namespace {
+
+/// Blocking one-shot HTTP client: sends `request`, reads until EOF.
+std::string fetch(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed: " << std::strerror(errno);
+    return {};
+  }
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return fetch(port, "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n");
+}
+
+TEST(HttpExporter, ServesMetricsSnapshotHealthzAndTrace) {
+  reset_all();
+  registry().counter("http_test_hits_total").add(9);
+  HttpExporter::Options options;
+  options.port = 0;  // ephemeral
+  options.healthz = [] { return std::string("{\"status\":\"testing\"}\n"); };
+  auto server = HttpExporter::create(std::move(options));
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+  const std::uint16_t port = server.value()->port();
+  ASSERT_NE(port, 0);
+
+  const std::string metrics = get(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("http_test_hits_total 9\n"), std::string::npos);
+  EXPECT_NE(metrics.find("frame_trace_dropped_total"), std::string::npos);
+
+  const std::string snapshot = get(port, "/snapshot.json");
+  EXPECT_NE(snapshot.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"http_test_hits_total\": 9"), std::string::npos)
+      << snapshot;
+
+  const std::string healthz = get(port, "/healthz");
+  EXPECT_NE(healthz.find("{\"status\":\"testing\"}"), std::string::npos)
+      << healthz;
+
+  const std::string trace = get(port, "/trace");
+  EXPECT_NE(trace.find("frame-trace-dump v1"), std::string::npos) << trace;
+  reset_all();
+}
+
+TEST(HttpExporter, RejectsUnknownPathsMethodsAndGarbage) {
+  auto server = HttpExporter::create({});
+  ASSERT_TRUE(server.is_ok());
+  const std::uint16_t port = server.value()->port();
+
+  EXPECT_NE(get(port, "/nope").find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_NE(fetch(port, "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("HTTP/1.0 405"),
+            std::string::npos);
+  EXPECT_NE(fetch(port, "garbage-without-spaces\r\n\r\n")
+                .find("HTTP/1.0 400"),
+            std::string::npos);
+  // Query strings are stripped before routing.
+  EXPECT_NE(get(port, "/healthz?verbose=1").find("HTTP/1.0 200"),
+            std::string::npos);
+}
+
+TEST(HttpExporter, HandleRoutesInProcessWithoutASocket) {
+  auto server = HttpExporter::create({});
+  ASSERT_TRUE(server.is_ok());
+  int status = 0;
+  const std::string body = server.value()->handle("/metrics", status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("frame_trace_recorded_total"), std::string::npos);
+  server.value()->handle("/bogus", status);
+  EXPECT_EQ(status, 404);
+}
+
+TEST(HttpExporter, FixedPortAndBindConflictSurfaceAsStatus) {
+  auto first = HttpExporter::create({});
+  ASSERT_TRUE(first.is_ok());
+  HttpExporter::Options clash;
+  clash.port = first.value()->port();
+  auto second = HttpExporter::create(std::move(clash));
+  EXPECT_FALSE(second.is_ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace frame::obs

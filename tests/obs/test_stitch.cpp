@@ -1,0 +1,277 @@
+// Span stitcher tests: dump serialization, cross-process merging with clock
+// anchors, per-hop measurement, exactly-once accounting, and the Perfetto
+// exporter + validator pair.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/stitch.hpp"
+
+namespace frame::obs {
+namespace {
+
+SpanEvent make_event(SpanKind kind, std::uint64_t trace_id, TimePoint at,
+                     NodeId node, TopicId topic = 1, SeqNo seq = 1) {
+  SpanEvent ev;
+  ev.kind = kind;
+  ev.topic = topic;
+  ev.seq = seq;
+  ev.node = node;
+  ev.trace_id = trace_id;
+  ev.at = at;
+  return ev;
+}
+
+TEST(Stitch, MakeTraceIdIsDeterministicNonZeroAndSpreads) {
+  const std::uint64_t a = make_trace_id(100, 1, 7);
+  EXPECT_EQ(a, make_trace_id(100, 1, 7));
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, make_trace_id(100, 1, 8));
+  EXPECT_NE(a, make_trace_id(101, 1, 7));
+  static_assert(make_trace_id(0, 0, 0) != 0, "id 0 is the no-trace sentinel");
+}
+
+TEST(Stitch, SerializeParseRoundTrip) {
+  TraceDump dump;
+  dump.process = "broker-1";
+  dump.wall_anchor = -123456789;
+  dump.recorded = 3;
+  dump.dropped = 1;
+  SpanEvent ev = make_event(SpanKind::kDelivered, 0xabcull, milliseconds(5),
+                            10, 7, 42);
+  ev.delta_pb = 111;
+  ev.dd_slack = -222;
+  ev.dr_slack = 333;
+  dump.spans.push_back(ev);
+
+  const auto parsed = parse_dumps(serialize_dump(dump));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].process, "broker-1");
+  EXPECT_EQ(parsed[0].wall_anchor, -123456789);
+  EXPECT_EQ(parsed[0].recorded, 3u);
+  EXPECT_EQ(parsed[0].dropped, 1u);
+  ASSERT_EQ(parsed[0].spans.size(), 1u);
+  const SpanEvent& back = parsed[0].spans[0];
+  EXPECT_EQ(back.kind, SpanKind::kDelivered);
+  EXPECT_EQ(back.topic, 7u);
+  EXPECT_EQ(back.seq, 42u);
+  EXPECT_EQ(back.node, 10u);
+  EXPECT_EQ(back.trace_id, 0xabcull);
+  EXPECT_EQ(back.at, milliseconds(5));
+  EXPECT_EQ(back.delta_pb, 111);
+  EXPECT_EQ(back.dd_slack, -222);
+  EXPECT_EQ(back.dr_slack, 333);
+}
+
+TEST(Stitch, ParserSkipsGarbageAndUnknownKindsAndConcatenates) {
+  TraceDump a;
+  a.process = "a";
+  a.spans.push_back(make_event(SpanKind::kPublish, 5, 0, 100));
+  TraceDump b;
+  b.process = "b";
+  b.spans.push_back(make_event(SpanKind::kDelivered, 5, 10, 10));
+  std::string text = serialize_dump(a);
+  text += "this line is noise\n";
+  text += "span 99 0 0 0 0 0 0 0 0\n";  // future span kind: skipped
+  text += "span mangled\n";
+  text += serialize_dump(b);
+  const auto parsed = parse_dumps(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].spans.size(), 1u);
+  EXPECT_EQ(parsed[1].process, "b");
+  EXPECT_EQ(parsed[1].spans.size(), 1u);
+}
+
+TEST(Stitch, CollectLocalDumpSnapshotsGlobalTracer) {
+  reset_all();
+  tracer().record(make_event(SpanKind::kPublish, 3, milliseconds(1), 100));
+  const TraceDump dump = collect_local_dump("me", 777);
+  EXPECT_EQ(dump.process, "me");
+  EXPECT_EQ(dump.wall_anchor, 777);
+  EXPECT_EQ(dump.recorded, 1u);
+  EXPECT_EQ(dump.dropped, 0u);
+  ASSERT_EQ(dump.spans.size(), 1u);
+  EXPECT_EQ(dump.spans[0].trace_id, 3u);
+  reset_all();
+}
+
+// Two processes with different clock anchors: the stitcher must place both
+// on one wall axis and measure each hop from the *wall* timestamps.
+TEST(Stitch, CrossProcessAnchorsAlignTimelinesAndMeasureHops) {
+  const std::uint64_t id = make_trace_id(100, 1, 1);
+
+  // Publisher process: monotonic clock starts at 0, wall anchor 1'000'000.
+  TraceDump pub;
+  pub.process = "publisher";
+  pub.wall_anchor = 1'000'000;
+  pub.spans.push_back(make_event(SpanKind::kPublish, id, 0, 100));
+
+  // Broker process: its monotonic clock is shifted; anchor compensates so
+  // the admit lands 300us of wall time after the publish.
+  TraceDump broker;
+  broker.process = "broker";
+  broker.wall_anchor = 1'000'000 - 5'000'000;
+  broker.spans.push_back(
+      make_event(SpanKind::kProxyAdmit, id, 5'000'000 + 300'000, 1));
+  broker.spans.push_back(
+      make_event(SpanKind::kReplicated, id, 5'000'000 + 400'000, 1));
+  broker.spans.push_back(
+      make_event(SpanKind::kDispatchStart, id, 5'000'000 + 500'000, 1));
+
+  // Backup process.
+  TraceDump backup;
+  backup.process = "backup";
+  backup.wall_anchor = 1'000'000;
+  backup.spans.push_back(make_event(SpanKind::kBackupStored, id, 450'000, 2));
+
+  // Subscriber process.
+  TraceDump sub;
+  sub.process = "subscriber";
+  sub.wall_anchor = 1'000'000;
+  sub.spans.push_back(make_event(SpanKind::kDelivered, id, 900'000, 10));
+
+  const StitchReport report = stitch({pub, broker, backup, sub});
+  EXPECT_EQ(report.trace_count, 1u);
+  ASSERT_EQ(report.delta_pb.count(), 1u);
+  EXPECT_DOUBLE_EQ(report.delta_pb.mean(), 300'000.0);  // ΔPB
+  ASSERT_EQ(report.delta_bb.count(), 1u);
+  EXPECT_DOUBLE_EQ(report.delta_bb.mean(), 50'000.0);   // ΔBB
+  ASSERT_EQ(report.delta_bs.count(), 1u);
+  EXPECT_DOUBLE_EQ(report.delta_bs.mean(), 400'000.0);  // ΔBS
+  ASSERT_EQ(report.e2e.count(), 1u);
+  EXPECT_DOUBLE_EQ(report.e2e.mean(), 900'000.0);
+  EXPECT_EQ(report.delivered_events, 1u);
+  EXPECT_EQ(report.duplicate_deliveries, 0u);
+  // Events come back wall-ordered regardless of per-dump order.
+  for (std::size_t i = 1; i < report.events.size(); ++i) {
+    EXPECT_LE(report.events[i - 1].wall_at, report.events[i].wall_at);
+  }
+}
+
+TEST(Stitch, FailoverTimelineAndMeasuredX) {
+  TraceDump dump;
+  dump.process = "system";
+  // A detector blip *before* the crash must not count as detection.
+  dump.spans.push_back(
+      make_event(SpanKind::kFailoverDetected, 0, milliseconds(1), 2));
+  dump.spans.push_back(make_event(SpanKind::kCrash, 0, milliseconds(10), 1));
+  dump.spans.push_back(
+      make_event(SpanKind::kFailoverDetected, 0, milliseconds(35), 100));
+  dump.spans.push_back(make_event(SpanKind::kPromotion, 0, milliseconds(36), 2));
+  dump.spans.push_back(make_event(SpanKind::kRedirect, 0, milliseconds(40), 100));
+
+  const StitchReport report = stitch({dump});
+  EXPECT_EQ(report.crash_wall, milliseconds(10));
+  EXPECT_EQ(report.detected_wall, milliseconds(35));
+  EXPECT_EQ(report.promotion_wall, milliseconds(36));
+  EXPECT_EQ(report.redirect_wall, milliseconds(40));
+  EXPECT_EQ(report.measured_x, milliseconds(30));  // x = redirect - crash
+  const std::string summary = stitch_summary(report);
+  EXPECT_NE(summary.find("measured x = 30.000ms"), std::string::npos)
+      << summary;
+}
+
+TEST(Stitch, DuplicateDeliveryToSameSubscriberIsCountedFanOutIsNot) {
+  const std::uint64_t id = make_trace_id(100, 1, 1);
+  TraceDump dump;
+  dump.spans.push_back(make_event(SpanKind::kDelivered, id, 100, 10));
+  dump.spans.push_back(make_event(SpanKind::kDelivered, id, 200, 11));  // fan-out
+  const StitchReport clean = stitch({dump});
+  EXPECT_EQ(clean.duplicate_deliveries, 0u);
+  EXPECT_EQ(clean.delivered_events, 2u);
+
+  dump.spans.push_back(make_event(SpanKind::kDelivered, id, 300, 10));  // dup!
+  const StitchReport dirty = stitch({dump});
+  EXPECT_EQ(dirty.duplicate_deliveries, 1u);
+}
+
+TEST(Stitch, DroppedTotalSumsAcrossDumps) {
+  TraceDump a;
+  a.dropped = 3;
+  TraceDump b;
+  b.dropped = 4;
+  EXPECT_EQ(stitch({a, b}).dropped_total, 7u);
+}
+
+TEST(Stitch, PerfettoExportValidatesAndCarriesFlowsAndMarkers) {
+  const std::uint64_t id1 = make_trace_id(100, 1, 1);
+  const std::uint64_t id2 = make_trace_id(100, 1, 2);
+  TraceDump dump;
+  for (const std::uint64_t id : {id1, id2}) {
+    const TimePoint base = id == id1 ? 0 : 50'000;
+    dump.spans.push_back(make_event(SpanKind::kPublish, id, base, 100));
+    dump.spans.push_back(
+        make_event(SpanKind::kProxyAdmit, id, base + 300'000, 1));
+    dump.spans.push_back(
+        make_event(SpanKind::kDispatchStart, id, base + 400'000, 1));
+    dump.spans.push_back(
+        make_event(SpanKind::kDelivered, id, base + 900'000, 10));
+  }
+  dump.spans.push_back(make_event(SpanKind::kCrash, 0, 1'000'000, 1));
+  dump.spans.push_back(make_event(SpanKind::kRedirect, 0, 1'400'000, 100));
+
+  const StitchReport report = stitch({dump});
+  const std::string json = to_perfetto_json(report);
+  EXPECT_TRUE(validate_perfetto_json(json).is_ok())
+      << validate_perfetto_json(json).message() << "\n" << json;
+  // One process metadata record per node, flows per trace, crash marker.
+  EXPECT_NE(json.find("\"name\":\"node 1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"crash\""), std::string::npos);
+  EXPECT_NE(json.find("\"traces\":2"), std::string::npos);
+}
+
+// Two messages resident on one node at overlapping times must land on
+// different lanes of that node's track (the validator would reject overlap).
+TEST(Stitch, OverlappingResidencyLanePacksWithoutOverlap) {
+  const std::uint64_t id1 = make_trace_id(100, 1, 1);
+  const std::uint64_t id2 = make_trace_id(100, 1, 2);
+  TraceDump dump;
+  for (const std::uint64_t id : {id1, id2}) {
+    dump.spans.push_back(make_event(SpanKind::kProxyAdmit, id, 0, 1));
+    dump.spans.push_back(make_event(SpanKind::kDispatchStart, id, 500'000, 1));
+  }
+  const std::string json = to_perfetto_json(stitch({dump}));
+  EXPECT_TRUE(validate_perfetto_json(json).is_ok())
+      << validate_perfetto_json(json).message() << "\n" << json;
+  // Both lanes of pid 1 were used.
+  EXPECT_NE(json.find("\"pid\":1,\"tid\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":1,\"tid\":2"), std::string::npos) << json;
+}
+
+TEST(Stitch, ValidatorRejectsBadInput) {
+  EXPECT_FALSE(validate_perfetto_json("not json at all").is_ok());
+  EXPECT_FALSE(validate_perfetto_json("[1,2,3]").is_ok());
+  EXPECT_FALSE(validate_perfetto_json("{\"foo\":1}").is_ok());
+  // X slice without dur.
+  EXPECT_FALSE(validate_perfetto_json(
+                   "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+                   "\"ts\":1.0}]}")
+                   .is_ok());
+  // Overlapping slices on one track.
+  EXPECT_FALSE(validate_perfetto_json(
+                   "{\"traceEvents\":["
+                   "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":10},"
+                   "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":5,\"dur\":10}]}")
+                   .is_ok());
+  // Flow finish with no matching start.
+  EXPECT_FALSE(validate_perfetto_json(
+                   "{\"traceEvents\":[{\"ph\":\"f\",\"id\":\"dead\","
+                   "\"pid\":1,\"tid\":1,\"ts\":1.0}]}")
+                   .is_ok());
+  // The same shapes, made whole, pass.
+  EXPECT_TRUE(validate_perfetto_json(
+                  "{\"traceEvents\":["
+                  "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":5},"
+                  "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":5,\"dur\":10},"
+                  "{\"ph\":\"s\",\"id\":\"dead\",\"pid\":1,\"tid\":1,\"ts\":1},"
+                  "{\"ph\":\"f\",\"id\":\"dead\",\"pid\":1,\"tid\":1,\"ts\":9}"
+                  "]}")
+                  .is_ok());
+}
+
+}  // namespace
+}  // namespace frame::obs
