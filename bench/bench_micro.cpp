@@ -12,12 +12,14 @@
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "broker/primary_engine.hpp"
+#include "common/build_info.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
 #include "core/job_queue.hpp"
@@ -557,8 +559,10 @@ BENCHMARK(BM_CorrelatorConjunction);
 
 // Custom main instead of BENCHMARK_MAIN(): unless the caller passed their
 // own --benchmark_out, mirror the run as machine-readable JSON to
-// BENCH_micro.json at the repo root (FRAME_BENCH_JSON_PATH, injected by
-// CMake) so regressions diff as data, not as console text.
+// FRAME_BENCH_JSON_PATH (build tree, injected by CMake) so regressions
+// diff as data, not as console text.  The mirror is only written when the
+// linked frame library is a bench-grade build (release, optimized, no
+// sanitizer): numbers from anything else must never look publishable.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
 #ifdef FRAME_BENCH_JSON_PATH
@@ -569,8 +573,16 @@ int main(int argc, char** argv) {
   static char out_flag[] = "--benchmark_out=" FRAME_BENCH_JSON_PATH;
   static char format_flag[] = "--benchmark_out_format=json";
   if (!has_out) {
-    args.push_back(out_flag);
-    args.push_back(format_flag);
+    if (frame::bench_grade_build()) {
+      args.push_back(out_flag);
+      args.push_back(format_flag);
+    } else {
+      const frame::BuildInfo info = frame::library_build_info();
+      std::fprintf(stderr,
+                   "bench_micro: frame library is not bench-grade "
+                   "(build=%s, sanitizer=%s); refusing to write %s\n",
+                   info.build_type, info.sanitizer, FRAME_BENCH_JSON_PATH);
+    }
   }
 #endif
   int arg_count = static_cast<int>(args.size());

@@ -2,6 +2,7 @@
 // seed aggregation (mean ± 95% CI as the paper reports), and row printing.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +13,43 @@
 #include "sim/experiment.hpp"
 
 namespace frame::bench {
+
+// ---------------------------------------------------------------------------
+// Timing helpers for hand-rolled measurement loops (bench/harness).
+// All bench timing uses steady_clock, never system_clock: NTP slews and
+// wall-clock steps would silently corrupt ns/op samples, and the runtime's
+// own MonotonicClock (common/time.hpp) is steady_clock-based, so harness
+// numbers stay directly comparable with runtime latency series.
+// ---------------------------------------------------------------------------
+
+/// Monotonic nanosecond stamp.
+inline std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times `op` in `batches` batches of `batch` calls each (one untimed
+/// warmup batch first) and returns the fastest batch's ns/op.  Batching
+/// amortizes the two clock reads.  Min-of-batches, not median: scheduler
+/// interference is strictly additive, so the fastest batch is the best
+/// estimate of the true cost and — unlike the median, which drifts with
+/// overall machine load — is reproducible run to run on a shared box.
+template <typename Op>
+double time_op_ns(std::size_t batch, std::size_t batches, Op&& op) {
+  if (batch == 0 || batches == 0) return 0.0;
+  for (std::size_t i = 0; i < batch; ++i) op();
+  double best = 0.0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::int64_t t0 = steady_now_ns();
+    for (std::size_t i = 0; i < batch; ++i) op();
+    const std::int64_t t1 = steady_now_ns();
+    const double ns_per_op =
+        static_cast<double>(t1 - t0) / static_cast<double>(batch);
+    if (b == 0 || ns_per_op < best) best = ns_per_op;
+  }
+  return best;
+}
 
 /// Common knobs; every bench runs with sensible defaults when invoked with
 /// no arguments and accepts:

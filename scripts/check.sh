@@ -6,6 +6,8 @@
 #   FRAME_SANITIZE=address scripts/check.sh    # ASan+UBSan into build-asan/
 #   FRAME_SANITIZE=undefined scripts/check.sh  # UBSan into build-ubsan/
 #   FRAME_CHAOS=1 scripts/check.sh   # chaos suite under ASan and TSan
+#   FRAME_BENCH=1 scripts/check.sh   # + release bench run diffed against
+#                                    #   the committed BENCH_*.json baselines
 #
 # Extra arguments are forwarded to ctest, e.g.
 #   scripts/check.sh -R Obs          # only the observability tests
@@ -13,6 +15,14 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize="${FRAME_SANITIZE:-}"
+
+# Bench mode: run the release-forced suites and gate on >10% regressions
+# vs the committed baselines.  Delegated to scripts/bench.sh, which prints
+# the reproducing commands when a series regresses.
+if [[ "${FRAME_BENCH:-0}" == "1" ]]; then
+  "$repo/scripts/bench.sh" "$@"
+  exit 0
+fi
 
 # Chaos mode: build the chaos suite under both ASan(+UBSan) and TSan and
 # run it with fixed seeds, so every scheduled fault scenario is exercised

@@ -1,0 +1,54 @@
+#include "common/build_info.hpp"
+
+#include <cstring>
+
+namespace frame {
+
+namespace {
+
+const char* detect_sanitizer() {
+  // FRAME_SANITIZE_NAME is injected by CMake for all FRAME_SANITIZE builds
+  // (it is the only way to see standalone UBSan, which defines no macro);
+  // the compiler macros are the fallback for hand-rolled builds.
+#ifdef FRAME_SANITIZE_NAME
+  if (std::strlen(FRAME_SANITIZE_NAME) > 0) return FRAME_SANITIZE_NAME;
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__SANITIZE_THREAD__)
+  return "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return "address";
+#elif __has_feature(thread_sanitizer)
+  return "thread";
+#endif
+#endif
+  return "none";
+}
+
+}  // namespace
+
+BuildInfo library_build_info() {
+  BuildInfo info;
+#ifdef NDEBUG
+  info.build_type = "release";
+#else
+  info.build_type = "debug";
+#endif
+#ifdef __OPTIMIZE__
+  info.optimized = true;
+#else
+  info.optimized = false;
+#endif
+  info.sanitizer = detect_sanitizer();
+  return info;
+}
+
+bool bench_grade_build() {
+  const BuildInfo info = library_build_info();
+  return std::strcmp(info.build_type, "release") == 0 && info.optimized &&
+         std::strcmp(info.sanitizer, "none") == 0;
+}
+
+}  // namespace frame

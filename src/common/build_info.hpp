@@ -1,0 +1,27 @@
+// Build provenance of the linked frame library.
+//
+// The bench harness must not publish numbers from a debug or sanitizer
+// build, and it cannot trust its own translation unit's flags: a bench
+// binary compiled -O2 can still link engine code compiled -O0.  These
+// functions are defined in build_info.cpp, so they report the flags the
+// *library* was actually compiled with -- link against the release-forced
+// `frame_release` and they say "release"; link against a debug tree and
+// they say so.
+#pragma once
+
+namespace frame {
+
+struct BuildInfo {
+  const char* build_type;  ///< "release" (NDEBUG) or "debug"
+  bool optimized;          ///< __OPTIMIZE__ was set (-O1 or higher)
+  const char* sanitizer;   ///< "none", "address", "thread" or "undefined"
+};
+
+/// Flags the linked frame library was compiled with.
+BuildInfo library_build_info();
+
+/// True iff the linked library is bench-grade: NDEBUG, optimized, and no
+/// sanitizer.  The bench harness refuses to emit gated JSON otherwise.
+bool bench_grade_build();
+
+}  // namespace frame

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
@@ -35,6 +36,26 @@ void append_latency_json(std::string& out, const LatencyRecorder::Snapshot& l) {
 
 /// ms with enough digits for sub-ms values.
 double ms(double ns) { return ns / 1e6; }
+
+/// Per-stage attribution series get their full log-binned histogram
+/// exported (not just summary quantiles) so queue-delay vs service-time
+/// shape is visible in /metrics and /snapshot.json.  Suffix-matched to
+/// keep the common summary series compact.
+bool stage_series(std::string_view name) {
+  const auto ends_with = [&](std::string_view suffix) {
+    return name.size() >= suffix.size() &&
+           name.substr(name.size() - suffix.size()) == suffix;
+  };
+  return ends_with("_queue_delay_ns") || ends_with("_service_ns");
+}
+
+/// Upper edge of log-domain bin `i` in nanoseconds.
+double bin_high_ns(const Histogram& h, std::size_t i) {
+  const double hi_log = i + 1 < h.bin_count()
+                            ? h.bin_low(i + 1)
+                            : LatencyRecorder::kLogHi;
+  return std::pow(10.0, hi_log);
+}
 
 }  // namespace
 
@@ -127,7 +148,26 @@ std::string to_json(const ObsSnapshot& snap) {
   for (const auto& [name, latency] : snap.metrics.latencies) {
     appendf(out, "%s\n    \"%s\": ", first ? "" : ",",
             json_escape(name).c_str());
-    append_latency_json(out, latency);
+    if (stage_series(name)) {
+      // Same scalar fields as append_latency_json plus the non-empty
+      // log-binned buckets: [upper-edge ns, count] pairs.
+      appendf(out,
+              "{\"count\":%zu,\"mean_ns\":%.1f,\"min_ns\":%.1f,"
+              "\"max_ns\":%.1f,\"p50_ns\":%.1f,\"p90_ns\":%.1f,"
+              "\"p99_ns\":%.1f,\"hist\":[",
+              latency.count(), latency.mean(), latency.min(), latency.max(),
+              latency.p50(), latency.p90(), latency.p99());
+      bool first_bin = true;
+      for (std::size_t i = 0; i < latency.hist.bin_count(); ++i) {
+        if (latency.hist.bin(i) == 0) continue;
+        appendf(out, "%s[%.1f,%" PRIu64 "]", first_bin ? "" : ",",
+                bin_high_ns(latency.hist, i), latency.hist.bin(i));
+        first_bin = false;
+      }
+      out += "]}";
+    } else {
+      append_latency_json(out, latency);
+    }
     first = false;
   }
   out += "\n  },\n  \"topics\": [";
@@ -183,6 +223,23 @@ std::string to_prometheus(const ObsSnapshot& snap) {
     appendf(out, "%s_sum %.1f\n", n.c_str(),
             latency.mean() * static_cast<double>(latency.count()));
     appendf(out, "%s_count %zu\n", n.c_str(), latency.count());
+    if (stage_series(name)) {
+      // Full log-binned shape as a Prometheus histogram (cumulative `le`
+      // buckets over the non-empty bins; +Inf closes the series).
+      appendf(out, "# TYPE %s_hist histogram\n", n.c_str());
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < latency.hist.bin_count(); ++i) {
+        if (latency.hist.bin(i) == 0) continue;
+        cumulative += latency.hist.bin(i);
+        appendf(out, "%s_hist_bucket{le=\"%.1f\"} %" PRIu64 "\n", n.c_str(),
+                bin_high_ns(latency.hist, i), cumulative);
+      }
+      appendf(out, "%s_hist_bucket{le=\"+Inf\"} %" PRIu64 "\n", n.c_str(),
+              latency.hist.total());
+      appendf(out, "%s_hist_sum %.1f\n", n.c_str(),
+              latency.mean() * static_cast<double>(latency.count()));
+      appendf(out, "%s_hist_count %zu\n", n.c_str(), latency.count());
+    }
   }
   // Tracer loss accounting: nonzero means snapshots/dumps are incomplete
   // timelines (ring wraparound or slot contention) -- consumers must not

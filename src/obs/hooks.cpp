@@ -101,6 +101,29 @@ void replicate_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
        kDurationInfinite, kDurationInfinite, slack, trace_id);
 }
 
+void dispatch_stage_slow(TopicId topic, SeqNo seq, TimePoint done,
+                         Duration queue_delay, Duration service,
+                         std::uint64_t trace_id) {
+  static LatencyRecorder& qd =
+      registry().latency("frame_dispatch_queue_delay_ns");
+  static LatencyRecorder& svc = registry().latency("frame_dispatch_service_ns");
+  if (queue_delay >= 0) qd.record(static_cast<double>(queue_delay));
+  if (service >= 0) svc.record(static_cast<double>(service));
+  // done == release + queue_delay + service, so the stitched
+  // job-enqueue -> dispatch-done span equals the histogram sum exactly.
+  span(SpanKind::kDispatchDone, topic, seq, kInvalidNode, done,
+       kDurationInfinite, kDurationInfinite, kDurationInfinite, trace_id);
+}
+
+void replicate_stage_slow(Duration queue_delay, Duration service) {
+  static LatencyRecorder& qd =
+      registry().latency("frame_replicate_queue_delay_ns");
+  static LatencyRecorder& svc =
+      registry().latency("frame_replicate_service_ns");
+  if (queue_delay >= 0) qd.record(static_cast<double>(queue_delay));
+  if (service >= 0) svc.record(static_cast<double>(service));
+}
+
 void copy_dropped_slow(TopicId topic, SeqNo seq, TimePoint now) {
   static Counter& drops = registry().counter("frame_copies_dropped_total");
   drops.add();

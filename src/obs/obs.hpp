@@ -108,6 +108,10 @@ void dispatch_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
                             Duration slack, std::uint64_t trace_id);
 void replicate_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
                              Duration slack, std::uint64_t trace_id);
+void dispatch_stage_slow(TopicId topic, SeqNo seq, TimePoint done,
+                         Duration queue_delay, Duration service,
+                         std::uint64_t trace_id);
+void replicate_stage_slow(Duration queue_delay, Duration service);
 void copy_dropped_slow(TopicId topic, SeqNo seq, TimePoint now);
 void delivered_slow(TopicId topic, SeqNo seq, TimePoint now, Duration e2e,
                     std::uint64_t trace_id);
@@ -184,6 +188,26 @@ inline void replicate_executed(TopicId topic, SeqNo seq, TimePoint now,
   if (enabled()) {
     detail::replicate_executed_slow(topic, seq, now, slack, trace_id);
   }
+}
+
+/// Per-stage dispatch attribution: `queue_delay` = time the dispatch job
+/// sat in the EDF queue (execute start - release), `service` = execute
+/// start to delivery handoff finished at `done`.  Records both log-binned
+/// histograms and emits the kDispatchDone span, so queue_delay + service
+/// equals the stitched job-enqueue -> dispatch-done span per message.
+inline void dispatch_stage(TopicId topic, SeqNo seq, TimePoint done,
+                           Duration queue_delay, Duration service,
+                           std::uint64_t trace_id = 0) {
+  if (enabled()) {
+    detail::dispatch_stage_slow(topic, seq, done, queue_delay, service,
+                                trace_id);
+  }
+}
+
+/// Same split for replicate jobs (histograms only; no extra span — the
+/// kReplicated span already marks the ship time).
+inline void replicate_stage(Duration queue_delay, Duration service) {
+  if (enabled()) detail::replicate_stage_slow(queue_delay, service);
 }
 
 /// A job referenced a copy no longer in the buffer, or an undelivered copy

@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "common/types.hpp"
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
 
 namespace frame::obs {
@@ -33,7 +34,7 @@ void appendf(std::string& out, const char* fmt, ...) {
 }
 
 constexpr std::uint8_t kMaxSpanKind =
-    static_cast<std::uint8_t>(SpanKind::kRedirect);
+    static_cast<std::uint8_t>(SpanKind::kDispatchDone);
 
 /// Microseconds for Chrome trace "ts"/"dur" fields.
 double us(std::int64_t ns) { return static_cast<double>(ns) / 1e3; }
@@ -150,7 +151,9 @@ StitchReport stitch(const std::vector<TraceDump>& dumps) {
     std::int64_t admit = -1;
     std::int64_t replicated = -1;
     std::int64_t backup_stored = -1;
+    std::int64_t enqueue = -1;
     std::int64_t dispatch = -1;
+    std::int64_t dispatch_done = -1;
   };
   std::unordered_map<std::uint64_t, TraceFirsts> firsts;
   std::unordered_map<std::uint64_t, std::uint32_t> delivered_count;
@@ -205,8 +208,25 @@ StitchReport stitch(const std::vector<TraceDump>& dumps) {
           }
         }
         break;
+      case SpanKind::kJobEnqueue:
+        // Replicate + dispatch enqueues share one generate_jobs timestamp,
+        // so "first" is the dispatch-job release time either way.
+        if (f.enqueue < 0) f.enqueue = se.wall_at;
+        break;
       case SpanKind::kDispatchStart:
-        if (f.dispatch < 0) f.dispatch = se.wall_at;
+        if (f.dispatch < 0) {
+          f.dispatch = se.wall_at;
+          if (f.enqueue >= 0) {
+            report.dispatch_queue_delay.add(
+                static_cast<double>(se.wall_at - f.enqueue));
+          }
+        }
+        break;
+      case SpanKind::kDispatchDone:
+        if (f.dispatch_done < 0 && f.enqueue >= 0 && f.dispatch >= 0) {
+          f.dispatch_done = se.wall_at;
+          report.dispatch_span.add(static_cast<double>(se.wall_at - f.enqueue));
+        }
         break;
       case SpanKind::kDelivered: {
         ++report.delivered_events;
@@ -388,6 +408,8 @@ std::string stitch_summary(const StitchReport& report) {
   stat("dBB", report.delta_bb);
   stat("dBS", report.delta_bs);
   stat("e2e", report.e2e);
+  stat("qdly", report.dispatch_queue_delay);
+  stat("disp", report.dispatch_span);
   appendf(out, "delivered=%" PRIu64 " duplicate_deliveries=%" PRIu64 "\n",
           report.delivered_events, report.duplicate_deliveries);
   if (report.crash_wall >= 0) {
@@ -409,187 +431,8 @@ std::string stitch_summary(const StitchReport& report) {
   return out;
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON parser, sufficient to validate to_perfetto_json output (and
-// to reject anything that is not JSON at all).
-// ---------------------------------------------------------------------------
-namespace {
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  std::optional<JsonValue> parse() {
-    auto v = value();
-    if (!v.has_value()) return std::nullopt;
-    skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  std::optional<JsonValue> value() {
-    skip_ws();
-    if (pos_ >= text_.size()) return std::nullopt;
-    const char c = text_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_value();
-    if (c == 't' || c == 'f') return boolean();
-    if (c == 'n') return null();
-    return number();
-  }
-
-  std::optional<JsonValue> object() {
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (!consume('{')) return std::nullopt;
-    if (consume('}')) return v;
-    while (true) {
-      auto key = string_literal();
-      if (!key.has_value() || !consume(':')) return std::nullopt;
-      auto member = value();
-      if (!member.has_value()) return std::nullopt;
-      v.object.emplace_back(std::move(*key), std::move(*member));
-      if (consume('}')) return v;
-      if (!consume(',')) return std::nullopt;
-    }
-  }
-
-  std::optional<JsonValue> array() {
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (!consume('[')) return std::nullopt;
-    if (consume(']')) return v;
-    while (true) {
-      auto member = value();
-      if (!member.has_value()) return std::nullopt;
-      v.array.push_back(std::move(*member));
-      if (consume(']')) return v;
-      if (!consume(',')) return std::nullopt;
-    }
-  }
-
-  std::optional<std::string> string_literal() {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
-    ++pos_;
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return std::nullopt;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return std::nullopt;
-            pos_ += 4;  // validated but not decoded; good enough here
-            out += '?';
-            break;
-          }
-          default:
-            return std::nullopt;
-        }
-      } else {
-        out += c;
-      }
-    }
-    return std::nullopt;  // unterminated
-  }
-
-  std::optional<JsonValue> string_value() {
-    auto s = string_literal();
-    if (!s.has_value()) return std::nullopt;
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    v.str = std::move(*s);
-    return v;
-  }
-
-  std::optional<JsonValue> boolean() {
-    JsonValue v;
-    v.type = JsonValue::Type::kBool;
-    if (text_.substr(pos_, 4) == "true") {
-      pos_ += 4;
-      v.boolean = true;
-      return v;
-    }
-    if (text_.substr(pos_, 5) == "false") {
-      pos_ += 5;
-      return v;
-    }
-    return std::nullopt;
-  }
-
-  std::optional<JsonValue> null() {
-    if (text_.substr(pos_, 4) != "null") return std::nullopt;
-    pos_ += 4;
-    return JsonValue{};
-  }
-
-  std::optional<JsonValue> number() {
-    const char* start = text_.data() + pos_;
-    char* end = nullptr;
-    const double d = std::strtod(start, &end);
-    if (end == start) return std::nullopt;
-    pos_ += static_cast<std::size_t>(end - start);
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.number = d;
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
 Status validate_perfetto_json(std::string_view json) {
-  JsonParser parser(json);
-  const auto root = parser.parse();
+  const auto root = parse_json(json);
   if (!root.has_value() || root->type != JsonValue::Type::kObject) {
     return Status(StatusCode::kProtocolError, "not a JSON object");
   }

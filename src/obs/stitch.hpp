@@ -70,6 +70,13 @@ struct StitchReport {
   OnlineStats delta_bs;  ///< dispatch-start -> delivered
   OnlineStats e2e;       ///< publish -> delivered
 
+  // Broker-internal dispatch attribution (nanoseconds).  The runtime's
+  // per-stage histograms (frame_dispatch_queue_delay_ns / _service_ns)
+  // must sum to dispatch_span: queue_delay + service == span per message
+  // by construction, so the stitched view cross-checks the registry.
+  OnlineStats dispatch_queue_delay;  ///< job-enqueue -> dispatch-start
+  OnlineStats dispatch_span;         ///< job-enqueue -> dispatch-done
+
   // Failover timeline on the wall axis (-1 = event absent).
   std::int64_t crash_wall = -1;
   std::int64_t detected_wall = -1;

@@ -32,6 +32,8 @@ std::string_view to_string(SpanKind kind) {
       return "backup-stored";
     case SpanKind::kRedirect:
       return "redirect";
+    case SpanKind::kDispatchDone:
+      return "dispatch-done";
   }
   return "unknown";
 }

@@ -37,6 +37,7 @@ enum class SpanKind : std::uint8_t {
   kRetentionReplay = 10,   ///< publisher finished re-sending retained copies
   kBackupStored = 11,      ///< Backup Buffer stored a replica (ends ΔBB)
   kRedirect = 12,          ///< publisher switched to the Backup (ends x)
+  kDispatchDone = 13,      ///< dispatch work finished (delivery handed off)
 };
 
 std::string_view to_string(SpanKind kind);

@@ -258,8 +258,15 @@ void RuntimeBroker::delivery_loop() {
     auto job = primary_->next_job();
     if (!job.has_value()) continue;
 
+    // Per-stage attribution: queue delay is execute-start minus the job's
+    // release (the same clock the enqueue hook stamped), service is the
+    // rest of the delivery work.  Sharing t_exec with execute_* keeps
+    // queue_delay + service identical to the stitched enqueue->done span.
+    const TimePoint t_exec = clock_.now();
+    const Duration queue_delay = t_exec - job->release;
+
     if (job->kind == JobKind::kDispatch) {
-      DispatchEffect effect = primary_->execute_dispatch(*job, clock_.now());
+      DispatchEffect effect = primary_->execute_dispatch(*job, t_exec);
       const bool prune = effect.prune_backup &&
                          options_.peer != kInvalidNode &&
                          has_peer_.load(std::memory_order_acquire);
@@ -280,16 +287,20 @@ void RuntimeBroker::delivery_loop() {
           bus_.send(options_.node, options_.peer,
                     encode_prune_frame(PruneFrame{job->topic, job->seq}));
         }
+        const TimePoint t_done = clock_.now();
+        obs::hooks::dispatch_stage(job->topic, job->seq, t_done, queue_delay,
+                                   t_done - t_exec, effect.msg.trace_id);
       }
       lock.lock();
     } else {
-      ReplicateEffect effect = primary_->execute_replicate(*job, clock_.now());
+      ReplicateEffect effect = primary_->execute_replicate(*job, t_exec);
       lock.unlock();
       if (effect.executed && options_.peer != kInvalidNode &&
           has_peer_.load(std::memory_order_acquire)) {
         Message copy = effect.msg;
         if (copy.trace_id != 0) ++copy.hop;  // crossing Primary -> Backup
         send_message(options_.peer, WireType::kReplicate, copy);
+        obs::hooks::replicate_stage(queue_delay, clock_.now() - t_exec);
       }
       lock.lock();
     }

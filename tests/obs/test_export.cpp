@@ -110,6 +110,58 @@ TEST(Export, FailoverTimelineAppearsWithCrashGauges) {
       std::string::npos);
 }
 
+TEST(Export, StageSeriesCarryLogBinnedHistograms) {
+  reset_all();
+  // Per-stage attribution series (suffix _queue_delay_ns/_service_ns) get
+  // their full log-binned shape exported; ordinary latency series stay as
+  // compact summaries.
+  LatencyRecorder& stage = registry().latency("test_stage_service_ns");
+  stage.record(1000.0);  // 1 us, twice: both land in the same log bin
+  stage.record(1000.0);
+  stage.record(1e6);  // 1 ms: a later bin
+  registry().latency("test_plain_latency_ns").record(1000.0);
+  const ObsSnapshot snap = collect_snapshot(0);
+
+  const std::string prom = to_prometheus(snap);
+  EXPECT_NE(prom.find("# TYPE test_stage_service_ns_hist histogram\n"),
+            std::string::npos)
+      << prom;
+  // Cumulative le buckets: the first non-empty bucket holds the two 1 us
+  // samples, +Inf closes at the full count.
+  const auto first_bucket = prom.find("test_stage_service_ns_hist_bucket{le=");
+  ASSERT_NE(first_bucket, std::string::npos);
+  const auto line_end = prom.find('\n', first_bucket);
+  EXPECT_EQ(prom.substr(line_end - 2, 2), " 2")
+      << prom.substr(first_bucket, line_end - first_bucket);
+  EXPECT_NE(prom.find("test_stage_service_ns_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_stage_service_ns_hist_sum 1002000.0\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_stage_service_ns_hist_count 3\n"),
+            std::string::npos);
+  // The plain series exports a summary only — no histogram TYPE line.
+  EXPECT_NE(prom.find("# TYPE test_plain_latency_ns summary\n"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("test_plain_latency_ns_hist"), std::string::npos);
+
+  const std::string json = to_json(snap);
+  const auto stage_pos = json.find("\"test_stage_service_ns\"");
+  ASSERT_NE(stage_pos, std::string::npos);
+  const auto hist_pos = json.find("\"hist\":[[", stage_pos);
+  ASSERT_NE(hist_pos, std::string::npos) << json;
+  // Two non-empty bins: [edge, 2] then [edge, 1].
+  const auto hist_end = json.find("]]", hist_pos) + 2;
+  const std::string hist = json.substr(hist_pos, hist_end - hist_pos);
+  EXPECT_NE(hist.find(",2],["), std::string::npos) << hist;
+  EXPECT_NE(hist.find(",1]"), std::string::npos) << hist;
+  // Plain latency series carry no "hist" member.
+  const auto plain_pos = json.find("\"test_plain_latency_ns\"");
+  ASSERT_NE(plain_pos, std::string::npos);
+  const auto plain_end = json.find('}', plain_pos);
+  EXPECT_EQ(json.substr(plain_pos, plain_end - plain_pos).find("\"hist\""),
+            std::string::npos);
+}
+
 TEST(Export, PrometheusEmitsTraceCounters) {
   const std::string prom = to_prometheus(known_snapshot());
   EXPECT_NE(prom.find("# TYPE frame_trace_recorded_total counter\n"
