@@ -25,9 +25,11 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -422,6 +424,170 @@ std::vector<obs::BenchSeries> run_e2e(const Options& options) {
   return out;
 }
 
+// --------------------------- e2e: sharded -------------------------------
+
+/// Transport stub for the sharded throughput runs: delivers nothing and
+/// never blocks, so the measurement isolates the broker hot path
+/// (ring hand-off -> admission -> EDF pop -> dispatch) from transport
+/// behaviour.  Dispatched frames are counted via the engines' own stats.
+class SinkBus final : public Bus {
+ public:
+  void register_endpoint(NodeId, Handler) override {}
+  void send(NodeId, NodeId, std::vector<std::uint8_t>) override {}
+  void crash(NodeId) override {}
+  void restore(NodeId) override {}
+  bool crashed(NodeId) const override { return false; }
+  void shutdown() override {}
+};
+
+/// One sharded-vs-global cell: a RuntimeBroker with `shards` partitions
+/// dispatching `topics` loss-tolerant topics as fast as producer threads
+/// can push pre-encoded publish frames through the event channel's
+/// Supplier Proxies.  Returns items/s of executed dispatches, or 0 when
+/// the run failed to drain (reported, never silently dropped).
+double run_sharded_dispatch_cell(std::size_t shards, std::size_t topics,
+                                 std::size_t per_topic) {
+  using namespace frame::runtime;
+  SinkBus bus;
+  MonotonicClock clock;
+
+  TimingParams params;
+  params.delta_pb = milliseconds(5);
+  params.delta_bs_edge = milliseconds(1);
+  params.delta_bs_cloud = milliseconds(20);
+  params.delta_bb = milliseconds(1);
+  params.failover_x = milliseconds(60);
+
+  // Loss-tolerant, no retention: FRAME's selective replication skips these
+  // topics, so every admitted message costs exactly one dispatch job — the
+  // cleanest denominator for a throughput series.
+  std::vector<TopicSpec> specs;
+  for (TopicId t = 0; t < topics; ++t) {
+    specs.push_back(TopicSpec{t, milliseconds(10), milliseconds(50), 3, 0,
+                              Destination::kEdge});
+  }
+
+  RuntimeBroker::Options bopts;
+  bopts.node = 1;
+  bopts.peer = kInvalidNode;  // no detector, no replication target
+  bopts.start_as_primary = true;
+  bopts.broker = broker_config(ConfigName::kFrame);
+  bopts.delivery_threads = std::max<std::size_t>(3, shards);
+  bopts.shards = shards;
+  RuntimeBroker broker(bus, clock, bopts, specs, params);
+  for (TopicId t = 0; t < topics; ++t) broker.subscribe(t, 100);
+  broker.start();
+
+  // Partition topics across producers so (topic, seq) pairs are unique and
+  // the dedup bitmap never suppresses a frame.  Pre-encode outside the
+  // timed window: the series measures the broker, not the codec.
+  const std::size_t producers = std::min<std::size_t>(
+      std::max<std::size_t>(2, shards), topics);
+  std::vector<std::vector<std::vector<std::uint8_t>>> frames(producers);
+  for (TopicId t = 0; t < topics; ++t) {
+    auto& mine = frames[t % producers];
+    for (SeqNo seq = 1; seq <= per_topic; ++seq) {
+      mine.push_back(encode_message_frame(
+          WireType::kPublish, make_test_message(t, seq, 0)));
+    }
+  }
+  // Materialise each producer's Supplier Proxy before the clock starts;
+  // pushes themselves are the Fig. 5b multi-producer surface.
+  std::vector<eventsvc::ProxyPushConsumer*> proxies;
+  for (std::size_t p = 0; p < producers; ++p) {
+    proxies.push_back(&broker.channel().obtain_push_consumer(
+        static_cast<NodeId>(200 + p)));
+  }
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(topics) * per_topic;
+  const std::int64_t t0 = steady_now_ns();
+  std::vector<std::thread> pushers;
+  for (std::size_t p = 0; p < producers; ++p) {
+    pushers.emplace_back([&, p] {
+      for (auto& frame : frames[p]) {
+        eventsvc::Event event;
+        event.header.source = static_cast<NodeId>(200 + p);
+        event.header.type = 1;
+        event.payload = std::move(frame);
+        proxies[p]->push(event);
+      }
+    });
+  }
+  for (auto& pusher : pushers) pusher.join();
+  // Drain: producers are done once every frame is admitted (arrivals hits
+  // total) and every created dispatch job has run.  Jobs can finish
+  // "stale" when full-speed pushing overwrites an undelivered copy in the
+  // bounded per-topic store — those drained too, they just do not count
+  // as dispatch work.
+  const std::int64_t deadline = steady_now_ns() + 60ll * 1000000000ll;
+  PrimaryEngine::Stats stats;
+  for (;;) {
+    stats = broker.primary_stats();
+    if (stats.arrivals >= total &&
+        stats.dispatches_executed + stats.stale_jobs >=
+            stats.dispatch_jobs_created) {
+      break;
+    }
+    if (steady_now_ns() > deadline) {
+      std::fprintf(stderr,
+                   "bench_all: sharded cell (%zu shards, %zu topics) "
+                   "stalled at %llu/%llu dispatches\n",
+                   shards, topics,
+                   static_cast<unsigned long long>(
+                       stats.dispatches_executed),
+                   static_cast<unsigned long long>(total));
+      broker.stop();
+      return 0.0;
+    }
+    std::this_thread::yield();
+  }
+  const double seconds = static_cast<double>(steady_now_ns() - t0) / 1e9;
+  broker.stop();
+  return static_cast<double>(stats.dispatches_executed) / seconds;
+}
+
+std::vector<obs::BenchSeries> run_e2e_sharded(const Options& options) {
+  const std::size_t per_topic = options.quick ? 250 : 2500;
+  // 1/2/4 shards plus this machine's auto-resolved count when distinct.
+  std::vector<std::size_t> shard_counts = {1, 2, 4};
+  const std::size_t natural = resolve_shard_count(0);
+  if (std::find(shard_counts.begin(), shard_counts.end(), natural) ==
+      shard_counts.end()) {
+    shard_counts.push_back(natural);
+  }
+  std::vector<obs::BenchSeries> out;
+  double rate_1shard_16 = 0.0, rate_4shard_16 = 0.0;
+  for (const std::size_t topics : {4u, 16u}) {
+    for (const std::size_t shards : shard_counts) {
+      const double rate = run_sharded_dispatch_cell(shards, topics,
+                                                    per_topic);
+      char name[96];
+      std::snprintf(name, sizeof(name),
+                    "e2e_dispatch_throughput_shard%zu_topics%zu_items_per_s",
+                    shards, topics);
+      // Informational: shard scaling depends on the host's core count, so
+      // a cross-machine diff would gate on hardware, not code (the
+      // provenance check would catch it, but these series are about the
+      // scaling *shape*).  The regression gate for e2e stays on
+      // e2e_latency_p50_ns.
+      out.push_back(series(name, "items/s", rate, /*gated=*/false));
+      std::printf("bench_all:   %-52s %12.0f items/s\n", name, rate);
+      if (topics == 16 && shards == 1) rate_1shard_16 = rate;
+      if (topics == 16 && shards == 4) rate_4shard_16 = rate;
+    }
+  }
+  if (rate_1shard_16 > 0 && rate_4shard_16 > 0) {
+    const double scaling = rate_4shard_16 / rate_1shard_16;
+    out.push_back(series("e2e_dispatch_scaling_4shard_over_1shard_ratio",
+                         "ratio", scaling, /*gated=*/false));
+    std::printf("bench_all:   4-shard/1-shard dispatch scaling: %.2fx "
+                "(%u cpus)\n",
+                scaling, std::thread::hardware_concurrency());
+  }
+  return out;
+}
+
 // -------------------------------- main ----------------------------------
 
 int run(int argc, char** argv) {
@@ -483,7 +649,13 @@ int run(int argc, char** argv) {
 
   if (all || options.suite == "micro") publish("micro", run_micro(options));
   if (all || options.suite == "tcp") publish("tcp", run_tcp(options));
-  if (all || options.suite == "e2e") publish("e2e", run_e2e(options));
+  if (all || options.suite == "e2e") {
+    auto e2e = run_e2e(options);
+    auto sharded = run_e2e_sharded(options);
+    e2e.insert(e2e.end(), std::make_move_iterator(sharded.begin()),
+               std::make_move_iterator(sharded.end()));
+    publish("e2e", std::move(e2e));
+  }
   if (written == 0) {
     std::fprintf(stderr, "bench_all: unknown suite '%s'\n",
                  options.suite.c_str());

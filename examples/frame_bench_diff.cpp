@@ -92,6 +92,12 @@ int main(int argc, char** argv) {
               new_report->build_type.c_str(), new_report->sanitizer.c_str(),
               new_report->gated ? "" : " [UNGATED]");
   std::fputs(frame::obs::bench_diff_table(diff).c_str(), stdout);
+  if (diff.provenance_mismatch) {
+    std::fprintf(stderr,
+                 "frame_bench_diff: warning: reports are not comparable "
+                 "(%s); regression gating disabled\n",
+                 diff.provenance_reason.c_str());
+  }
   std::fputs(frame::obs::bench_diff_verdict(diff).c_str(), stdout);
   return diff.regression ? 1 : 0;
 }

@@ -27,14 +27,26 @@ fi
 # Chaos mode: build the chaos suite under both ASan(+UBSan) and TSan and
 # run it with fixed seeds, so every scheduled fault scenario is exercised
 # with memory and race checking.  Seeds can be widened via FRAME_CHAOS_SEED.
+# Every scenario runs at FRAME_SHARDS=1 (the pre-sharding broker) and
+# FRAME_SHARDS=4 (partitioned hot path), and the TSan build additionally
+# runs the sharded-runtime and MPSC-ring suites — the lock-free hand-off
+# and the shard lanes are exactly what TSan exists to certify.
 if [[ "${FRAME_CHAOS:-0}" == "1" ]]; then
   for sanitize in address thread; do
     build_dir="$repo/build-$([[ $sanitize == address ]] && echo asan || echo tsan)"
-    echo "--- chaos suite under $sanitize sanitizer ---"
     cmake -B "$build_dir" -S "$repo" -DFRAME_SANITIZE="$sanitize"
     cmake --build "$build_dir" -j "$(nproc)" --target test_chaos
-    "$build_dir/tests/test_chaos" "$@"
+    for shards in 1 4; do
+      echo "--- chaos suite under $sanitize sanitizer (FRAME_SHARDS=$shards) ---"
+      FRAME_SHARDS=$shards "$build_dir/tests/test_chaos" "$@"
+    done
   done
+  tsan_dir="$repo/build-tsan"
+  cmake --build "$tsan_dir" -j "$(nproc)" --target test_runtime test_common
+  echo "--- sharded runtime under TSan (FRAME_SHARDS=4) ---"
+  FRAME_SHARDS=4 "$tsan_dir/tests/test_runtime" --gtest_filter='ShardedRuntime*'
+  echo "--- MPSC ring stress under TSan ---"
+  "$tsan_dir/tests/test_common" --gtest_filter='MpscRing*'
   echo "chaos suite: OK"
   exit 0
 fi
@@ -51,7 +63,14 @@ esac
 
 cmake -B "$build_dir" -S "$repo" -DFRAME_SANITIZE="$sanitize"
 cmake --build "$build_dir" -j "$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
+# Shard matrix: the runtime tests construct EdgeSystems with shards=0
+# (auto), which resolves through FRAME_SHARDS — so one binary covers both
+# the pre-sharding broker and the partitioned hot path.
+for shards in 1 4; do
+  echo "--- test suite with FRAME_SHARDS=$shards ---"
+  FRAME_SHARDS=$shards \
+      ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
+done
 
 # Smoke test: the real TCP wire path end to end (publish -> broker ->
 # subscriber over loopback sockets through the epoll reactor).

@@ -1,0 +1,128 @@
+// Bounded lock-free ring for the Primary's shard hand-off: many producer
+// threads (bus endpoint handlers, publishers racing a promotion) push raw
+// frames, one shard lane drains them.  Dmitry Vyukov's bounded MPMC queue,
+// so it also tolerates several lanes of the same shard popping — the
+// per-cell sequence number decides ownership with one CAS per operation,
+// no locks and no unbounded spinning on either side.
+//
+// Unlike common/ring_buffer.hpp (single-threaded, overwrite-oldest), a
+// full ring REJECTS the push: the admission path must see backpressure
+// rather than silently dropping an accepted publish.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace frame {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Multi-producer push; false when the ring is full.  `value` is moved
+  /// from only on success, so a caller seeing backpressure can retry with
+  /// the same object.
+  bool try_push(T& value) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                  static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // the cell still holds an unconsumed value
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Rvalue convenience (drops the value on a full ring).
+  bool try_push(T&& value) {
+    T local = std::move(value);
+    return try_push(local);
+  }
+
+  /// Consumer pop; empty optional when no value is ready.  Safe from
+  /// multiple threads (Vyukov MPMC), though FRAME serialises the poppers
+  /// of one shard under that shard's mutex to keep admission order.
+  std::optional<T> try_pop() {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                  static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // the cell has not been published yet
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> out(std::move(cell->value));
+    cell->value = T{};  // drop any heap payload before the slot is reused
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Approximate occupancy (racy by nature; exact when quiescent).
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  // Not std::hardware_destructive_interference_size: its value is an ABI
+  // hazard and GCC warns on every include.  64 covers x86-64 and common
+  // ARM parts; being wrong only costs a false-sharing stall.
+  static constexpr std::size_t kCacheLine = 64;
+
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producers
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // consumer
+};
+
+}  // namespace frame

@@ -153,6 +153,16 @@ class Histogram {
   std::size_t bin_count() const { return counts_.size(); }
   std::uint64_t bin(std::size_t i) const { return counts_[i]; }
   std::uint64_t total() const { return total_; }
+
+  /// Adds `other`'s counts bin-by-bin.  Only meaningful for histograms
+  /// with the same [lo, hi) range and bin count (the per-shard metric
+  /// aggregation case); mismatched layouts are merged positionally over
+  /// the common prefix rather than resampled.
+  void merge(const Histogram& other) {
+    const std::size_t n = std::min(counts_.size(), other.counts_.size());
+    for (std::size_t i = 0; i < n; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
   double bin_low(std::size_t i) const {
     return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                      static_cast<double>(counts_.size());

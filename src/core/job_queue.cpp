@@ -8,13 +8,27 @@ std::string_view to_string(JobKind kind) {
   return kind == JobKind::kDispatch ? "dispatch" : "replicate";
 }
 
+void JobQueue::note_replicate_removed(const Job& job) {
+  const std::uint64_t key = job_message_key(job.topic, job.seq);
+  const auto it = pending_replicates_.find(key);
+  if (it == pending_replicates_.end()) return;
+  if (--it->second == 0) {
+    pending_replicates_.erase(it);
+    // No replicate job for this key remains in the heap, so a cancelled
+    // entry has nothing left to drop — erase it or it leaks forever.
+    cancelled_.erase(key);
+  }
+}
+
 bool JobQueue::drop_if_cancelled() {
   const Job& top = heap_.top().job;
   if (top.kind != JobKind::kReplicate) return false;
   const auto it = cancelled_.find(job_message_key(top.topic, top.seq));
   if (it == cancelled_.end()) return false;
   cancelled_.erase(it);
+  const Job dropped = top;
   heap_.pop();
+  note_replicate_removed(dropped);
   ++cancelled_drops_;
   obs::hooks::replication_cancelled_drop();
   // The drop changes the stored depth just like a pop does; without this
@@ -28,6 +42,7 @@ std::optional<Job> JobQueue::pop() {
     if (drop_if_cancelled()) continue;
     Job job = heap_.top().job;
     heap_.pop();
+    if (job.kind == JobKind::kReplicate) note_replicate_removed(job);
     obs::hooks::job_queue_depth(heap_.size());
     return job;
   }
@@ -45,6 +60,7 @@ std::optional<Job> JobQueue::peek() {
 void JobQueue::clear() {
   heap_ = {};
   cancelled_.clear();
+  pending_replicates_.clear();
   obs::hooks::job_queue_depth(0);
 }
 

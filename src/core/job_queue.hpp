@@ -8,12 +8,16 @@
 // the corresponding message has already been dispatched (Table 3, Dispatch
 // step 3 / Replicate step 1).  Cancellation is lazy: cancelled keys are
 // recorded in a hash set and matching replicate jobs are dropped at pop
-// time, keeping both cancel and pop O(log n).
+// time, keeping both cancel and pop O(log n).  A pending-replicate refcount
+// bounds the cancelled set: cancelling a key whose replicate job already
+// left the heap (popped by a concurrent worker lane, or never enqueued) is
+// a no-op instead of an entry that nothing will ever erase.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -35,6 +39,9 @@ class JobQueue {
   SchedulingPolicy policy() const { return policy_; }
 
   void push(Job job) {
+    if (job.kind == JobKind::kReplicate) {
+      ++pending_replicates_[job_message_key(job.topic, job.seq)];
+    }
     heap_.push(HeapItem{policy_, std::move(job)});
     obs::hooks::job_queue_depth(heap_.size());
   }
@@ -47,9 +54,13 @@ class JobQueue {
   std::optional<Job> peek();
 
   /// Cancels any pending replicate job for (topic, seq).  Idempotent; safe
-  /// to call when no such job exists.
+  /// to call when no such job exists — a no-op when no replicate job for
+  /// the key is still queued (it was already popped, or never enqueued),
+  /// so the cancelled set only ever holds keys a future pop will erase.
   void cancel_replication(TopicId topic, SeqNo seq) {
-    cancelled_.insert(job_message_key(topic, seq));
+    const std::uint64_t key = job_message_key(topic, seq);
+    if (pending_replicates_.find(key) == pending_replicates_.end()) return;
+    cancelled_.insert(key);
   }
 
   bool empty() { return !peek().has_value(); }
@@ -59,6 +70,15 @@ class JobQueue {
 
   /// Number of replicate jobs dropped due to cancellation so far.
   std::uint64_t cancelled_drops() const { return cancelled_drops_; }
+
+  /// Cancelled keys whose replicate job has not yet been dropped.  Bounded
+  /// by the replicate jobs still in the heap (leak regression guard).
+  std::size_t cancelled_size() const { return cancelled_.size(); }
+
+  /// Message keys with at least one replicate job still queued.
+  std::size_t pending_replicate_keys() const {
+    return pending_replicates_.size();
+  }
 
   void clear();
 
@@ -77,10 +97,14 @@ class JobQueue {
   };
 
   bool drop_if_cancelled();
+  void note_replicate_removed(const Job& job);
 
   SchedulingPolicy policy_;
   std::priority_queue<HeapItem> heap_;
   std::unordered_set<std::uint64_t> cancelled_;
+  /// Replicate jobs still in the heap, by message key; keeps cancelled_
+  /// bounded (cancel of an absent key is a no-op, removal erases both).
+  std::unordered_map<std::uint64_t, std::uint32_t> pending_replicates_;
   std::uint64_t cancelled_drops_ = 0;
 };
 

@@ -74,7 +74,7 @@ Status TcpBus::open_listener(NodeId node) {
                      in.begin(), in.end(),
                      [](const auto& c) { return c->closed(); }),
                  in.end());
-        in.push_back(std::move(conn));
+        in.push_back(std::shared_ptr<TcpConnection>(std::move(conn)));
       },
       &loop_);
   if (!listener.is_ok()) return listener.status();
@@ -97,12 +97,13 @@ void TcpBus::register_endpoint(NodeId node, Handler handler) {
   }
 }
 
-TcpConnection* TcpBus::outgoing_locked(NodeId from, NodeId to, Status* why) {
+std::shared_ptr<TcpConnection> TcpBus::outgoing_locked(NodeId from, NodeId to,
+                                                       Status* why) {
   Endpoint& src = endpoints_[from];
   auto link_it = src.out.find(to);
   if (link_it != src.out.end() && link_it->second.conn &&
       !link_it->second.conn->closed()) {
-    return link_it->second.conn.get();
+    return link_it->second.conn;
   }
   const auto dst = endpoints_.find(to);
   if (dst == endpoints_.end() || dst->second.crashed ||
@@ -133,11 +134,10 @@ TcpConnection* TcpBus::outgoing_locked(NodeId from, NodeId to, Status* why) {
   }
   link.backoff->reset();
   link.next_attempt = 0;
-  TcpConnection* raw = conn.value().get();
-  raw->set_send_queue_limit(send_queue_limit_);
-  raw->start([](std::vector<std::uint8_t>) {});  // outgoing is send-only
-  link.conn = conn.take();
-  return raw;
+  link.conn = std::shared_ptr<TcpConnection>(conn.take());
+  link.conn->set_send_queue_limit(send_queue_limit_);
+  link.conn->start([](std::vector<std::uint8_t>) {});  // outgoing: send-only
+  return link.conn;
 }
 
 void TcpBus::send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) {
@@ -146,7 +146,9 @@ void TcpBus::send(NodeId from, NodeId to, std::vector<std::uint8_t> frame) {
 
 Status TcpBus::try_send(NodeId from, NodeId to,
                         std::vector<std::uint8_t> frame) {
-  TcpConnection* conn = nullptr;
+  // The shared_ptr keeps the connection alive across the unlocked write
+  // below even if crash()/restore() retires the link concurrently.
+  std::shared_ptr<TcpConnection> conn;
   Status why = Status::ok();
   {
     std::lock_guard lock(mutex_);
@@ -167,12 +169,14 @@ Status TcpBus::try_send(NodeId from, NodeId to,
 }
 
 void TcpBus::crash(NodeId node) {
-  // Collect doomed resources under the lock but destroy them outside it:
+  // Collect doomed resources under the lock but close them outside it:
   // destroying a connection synchronizes with the reactor, whose thread
-  // may itself be waiting on mutex_ inside a frame handler.
+  // may itself be waiting on mutex_ inside a frame handler.  A sender
+  // mid-try_send() holds its own reference, so dropping ours here never
+  // destroys a connection another thread is still writing to.
   std::unique_ptr<TcpListener> listener;
   std::unordered_map<NodeId, Link> out;
-  std::vector<std::unique_ptr<TcpConnection>> in;
+  std::vector<std::shared_ptr<TcpConnection>> in;
   {
     std::lock_guard lock(mutex_);
     auto it = endpoints_.find(node);
@@ -194,7 +198,7 @@ void TcpBus::crash(NodeId node) {
 }
 
 void TcpBus::restore(NodeId node) {
-  std::vector<std::unique_ptr<TcpConnection>> doomed;
+  std::vector<std::shared_ptr<TcpConnection>> doomed;
   {
     std::lock_guard lock(mutex_);
     auto it = endpoints_.find(node);

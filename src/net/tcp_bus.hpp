@@ -63,9 +63,13 @@ class TcpBus final : public Bus {
   void set_send_queue_limit(std::size_t bytes);
 
  private:
-  /// Reconnect state of one outgoing link.
+  /// Reconnect state of one outgoing link.  Connections are shared, not
+  /// owned: try_send() pins one with a reference while it writes outside
+  /// mutex_, so crash()/restore()/shutdown() retiring the link merely
+  /// close() it and drop their reference — whichever thread drops the
+  /// last one destroys the connection after any in-flight send finishes.
   struct Link {
-    std::unique_ptr<TcpConnection> conn;
+    std::shared_ptr<TcpConnection> conn;
     std::unique_ptr<BackoffSchedule> backoff;
     TimePoint next_attempt = 0;  ///< earliest re-connect time after failure
   };
@@ -79,11 +83,12 @@ class TcpBus final : public Bus {
     std::unordered_map<NodeId, Link> out;
     /// Accepted (incoming) connections, kept alive until crash/shutdown;
     /// dead ones are pruned on the next accept.
-    std::vector<std::unique_ptr<TcpConnection>> in;
+    std::vector<std::shared_ptr<TcpConnection>> in;
   };
 
   Status open_listener(NodeId node);
-  TcpConnection* outgoing_locked(NodeId from, NodeId to, Status* why);
+  std::shared_ptr<TcpConnection> outgoing_locked(NodeId from, NodeId to,
+                                                 Status* why);
 
   // Destroyed last (members destruct in reverse order): every connection
   // and listener above must deregister from the loop before it dies.

@@ -121,6 +121,16 @@ std::optional<WireType> peek_type(std::span<const std::uint8_t> buf) {
   return static_cast<WireType>(buf[0]);
 }
 
+std::optional<TopicId> peek_message_topic(std::span<const std::uint8_t> buf) {
+  if (buf.size() < 1 + 4) return std::nullopt;
+  if (!type_carries_message(static_cast<WireType>(buf[0]))) {
+    return std::nullopt;
+  }
+  Reader r(buf.subspan(1, 4));
+  const TopicId topic = r.u32();
+  return r.ok() ? std::optional<TopicId>(topic) : std::nullopt;
+}
+
 std::optional<Message> decode_message_frame(std::span<const std::uint8_t> buf) {
   const auto body = body_of(buf);
   if (!body.has_value()) return std::nullopt;

@@ -71,6 +71,14 @@ std::vector<std::uint8_t> encode_control_frame(WireType type);
 /// Peeks the frame type; nullopt on an empty buffer.
 std::optional<WireType> peek_type(std::span<const std::uint8_t> buf);
 
+/// Peeks the topic id of a message-carrying frame (kPublish / kDeliver /
+/// kReplicate / kResend) without decoding the rest: the topic is always
+/// the u32 right after the type tag.  The sharded broker routes frames to
+/// their shard lane with this and leaves the full decode to the lane.
+/// Callers must have already validated the checksum; nullopt when the
+/// frame is too short or its type carries no message.
+std::optional<TopicId> peek_message_topic(std::span<const std::uint8_t> buf);
+
 /// Decoders return nullopt on malformed input.
 std::optional<Message> decode_message_frame(std::span<const std::uint8_t> buf);
 std::optional<PruneFrame> decode_prune_frame(std::span<const std::uint8_t> buf);

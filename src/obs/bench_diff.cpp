@@ -143,6 +143,32 @@ BenchDiffResult diff_bench_reports(const BenchReport& old_report,
   BenchDiffResult result;
   result.gating_disabled = !old_report.gated || !new_report.gated;
 
+  // Provenance gate: numbers measured under different build types, core
+  // counts or sanitizers are not comparable — a "regression" would only
+  // reflect the changed environment.  Fields missing on either side (old
+  // baselines predating them) are skipped rather than treated as moved.
+  const auto note_mismatch = [&result](std::string field, std::string a,
+                                       std::string b) {
+    result.provenance_mismatch = true;
+    if (!result.provenance_reason.empty()) result.provenance_reason += ", ";
+    result.provenance_reason +=
+        std::move(field) + " " + std::move(a) + " vs " + std::move(b);
+  };
+  if (!old_report.build_type.empty() && !new_report.build_type.empty() &&
+      old_report.build_type != new_report.build_type) {
+    note_mismatch("build_type", old_report.build_type, new_report.build_type);
+  }
+  if (old_report.num_cpus > 0 && new_report.num_cpus > 0 &&
+      old_report.num_cpus != new_report.num_cpus) {
+    note_mismatch("num_cpus", std::to_string(old_report.num_cpus),
+                  std::to_string(new_report.num_cpus));
+  }
+  if (!old_report.sanitizer.empty() && !new_report.sanitizer.empty() &&
+      old_report.sanitizer != new_report.sanitizer) {
+    note_mismatch("sanitizer", old_report.sanitizer, new_report.sanitizer);
+  }
+  if (result.provenance_mismatch) result.gating_disabled = true;
+
   std::unordered_map<std::string_view, const BenchSeries*> new_by_name;
   for (const auto& s : new_report.series) new_by_name[s.name] = &s;
 
@@ -231,8 +257,13 @@ std::string bench_diff_verdict(const BenchDiffResult& diff) {
                                                 : "ok";
   appendf(out,
           "bench-diff: %s (%zu regressed, %zu improved, %zu within-noise, "
-          "%zu series)\n",
+          "%zu series)",
           status, regressed, improved, noise, diff.series.size());
+  if (diff.provenance_mismatch) {
+    appendf(out, " [provenance mismatch: %s]",
+            diff.provenance_reason.c_str());
+  }
+  out += "\n";
   return out;
 }
 

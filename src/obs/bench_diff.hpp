@@ -90,6 +90,12 @@ struct BenchDiffResult {
   /// True when either input file was ungated: the diff is informational
   /// and `regression` is forced false.
   bool gating_disabled = false;
+  /// True when the two reports were measured under different conditions
+  /// (library build type, CPU count or sanitizer differ): the numbers are
+  /// not comparable, so gating is disabled rather than producing a bogus
+  /// pass/fail.  `provenance_reason` says which field(s) diverged.
+  bool provenance_mismatch = false;
+  std::string provenance_reason;
 };
 
 /// Compares two reports series-by-series (matched by name).

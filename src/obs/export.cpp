@@ -57,6 +57,85 @@ double bin_high_ns(const Histogram& h, std::size_t i) {
   return std::pow(10.0, hi_log);
 }
 
+/// True when `name` is a per-shard series ("<base>_shard<k>"); stores the
+/// base name.  The sharded broker's hot-path hooks record into these
+/// (obs/hooks.cpp PerShard).
+bool split_shard_series(std::string_view name, std::string_view& base) {
+  const auto pos = name.rfind("_shard");
+  if (pos == std::string_view::npos || pos == 0) return false;
+  const auto digits = name.substr(pos + 6);
+  if (digits.empty() || digits.size() > 4) return false;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+  }
+  base = name.substr(0, pos);
+  return true;
+}
+
+bool ends_with(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.substr(name.size() - suffix.size()) == suffix;
+}
+
+/// Folds every per-shard series into an aggregate under its base name, in
+/// place: counters sum, gauges sum (except "*_peak", which takes the max),
+/// latencies merge their moments and log-binned histograms.  The shard
+/// series stay in the snapshot for per-shard visibility; consumers of the
+/// pre-sharding names (/metrics dashboards, the stage-attribution tests,
+/// the bench harness) read the aggregate and never notice the shards.
+void fold_shard_series(MetricsRegistry::Snapshot& m) {
+  const auto find_or_append = [](auto& entries, std::string_view base) {
+    for (auto& entry : entries) {
+      if (entry.first == base) return &entry;
+    }
+    entries.emplace_back(std::string(base),
+                         typename std::decay_t<decltype(entries)>::
+                             value_type::second_type{});
+    return &entries.back();
+  };
+
+  // Copy name and value out before find_or_append: appending the base
+  // entry can reallocate the vector, which would dangle both a view into
+  // an SSO name and a reference to the shard entry's value.
+  std::string_view base_view;
+  bool folded = false;
+  for (std::size_t i = 0; i < m.counters.size(); ++i) {
+    if (!split_shard_series(m.counters[i].first, base_view)) continue;
+    const std::string base(base_view);
+    const std::uint64_t value = m.counters[i].second;
+    find_or_append(m.counters, base)->second += value;
+    folded = true;
+  }
+  for (std::size_t i = 0; i < m.gauges.size(); ++i) {
+    if (!split_shard_series(m.gauges[i].first, base_view)) continue;
+    const std::string base(base_view);
+    const std::int64_t value = m.gauges[i].second;
+    auto* entry = find_or_append(m.gauges, base);
+    if (ends_with(base, "_peak")) {
+      entry->second = std::max(entry->second, value);
+    } else {
+      entry->second += value;
+    }
+    folded = true;
+  }
+  for (std::size_t i = 0; i < m.latencies.size(); ++i) {
+    if (!split_shard_series(m.latencies[i].first, base_view)) continue;
+    const std::string base(base_view);
+    const LatencyRecorder::Snapshot shard_snap = m.latencies[i].second;
+    auto* entry = find_or_append(m.latencies, base);
+    entry->second.stats.merge(shard_snap.stats);
+    entry->second.hist.merge(shard_snap.hist);
+    folded = true;
+  }
+  if (!folded) return;
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(m.counters.begin(), m.counters.end(), by_name);
+  std::sort(m.gauges.begin(), m.gauges.end(), by_name);
+  std::sort(m.latencies.begin(), m.latencies.end(), by_name);
+}
+
 }  // namespace
 
 std::string prometheus_sanitize_name(std::string_view name) {
@@ -111,6 +190,7 @@ std::string json_escape(std::string_view value) {
 ObsSnapshot collect_snapshot(std::size_t max_spans) {
   ObsSnapshot snap;
   snap.metrics = registry().snapshot();
+  fold_shard_series(snap.metrics);
   snap.topics = accountant().snapshot_all();
   snap.spans_recorded = tracer().recorded();
   snap.span_drops = tracer().contention_drops();

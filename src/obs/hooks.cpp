@@ -4,6 +4,9 @@
 // atomics (plus the tracer ring / accountant slots).
 #include "obs/obs.hpp"
 
+#include <array>
+#include <string>
+
 namespace frame::obs {
 
 MetricsRegistry& registry() { return MetricsRegistry::instance(); }
@@ -22,6 +25,60 @@ void reset_all() {
 namespace detail {
 
 namespace {
+
+// Mirrors core/topic_sharding.hpp kMaxShards (obs sits below core in the
+// layering, so the bound is restated rather than included).
+constexpr std::size_t kMaxShardSeries = 32;
+
+template <typename T>
+T& resolve_instrument(const std::string& name);
+template <>
+Counter& resolve_instrument<Counter>(const std::string& name) {
+  return registry().counter(name);
+}
+template <>
+Gauge& resolve_instrument<Gauge>(const std::string& name) {
+  return registry().gauge(name);
+}
+template <>
+LatencyRecorder& resolve_instrument<LatencyRecorder>(const std::string& name) {
+  return registry().latency(name);
+}
+
+/// A hot-path instrument that splits into one series per Primary shard.
+/// Threads without a ShardScope (engine unit tests, the simulator, the
+/// single-shard runtime before start) hit the base-named instrument; a
+/// shard lane hits "<base>_shard<k>".  collect_snapshot folds the shard
+/// series back into the base name at scrape time, so every exporter and
+/// existing consumer keeps seeing the aggregate under the old name.
+/// Resolution happens once per (call site, shard): slot pointers are
+/// cached in atomics, so the steady state is one relaxed load extra over
+/// the old static-local reference.
+template <typename T>
+class PerShard {
+ public:
+  explicit PerShard(const char* base) : base_(base) {}
+
+  T& get() {
+    const std::size_t shard = thread_shard();
+    const std::size_t idx =
+        shard == kNoShard || shard >= kMaxShardSeries ? 0 : shard + 1;
+    T* p = slots_[idx].load(std::memory_order_acquire);
+    if (p == nullptr) {
+      std::string name(base_);
+      if (idx != 0) name += "_shard" + std::to_string(idx - 1);
+      p = &resolve_instrument<T>(name);
+      // Racing resolvers store the same registry reference; last write
+      // wins harmlessly.
+      slots_[idx].store(p, std::memory_order_release);
+    }
+    return *p;
+  }
+
+ private:
+  const char* base_;
+  std::array<std::atomic<T*>, kMaxShardSeries + 1> slots_{};
+};
 
 void span(SpanKind kind, TopicId topic, SeqNo seq, NodeId node, TimePoint at,
           Duration delta_pb = kDurationInfinite,
@@ -56,13 +113,13 @@ void publish_slow(TopicId topic, SeqNo seq, TimePoint now,
 void proxy_admit_slow(TopicId topic, SeqNo seq, TimePoint now,
                       Duration delta_pb, bool recovery,
                       std::uint64_t trace_id) {
-  static Counter& admits = registry().counter("frame_proxy_admits_total");
+  static PerShard<Counter> admits("frame_proxy_admits_total");
   static Counter& recoveries =
       registry().counter("frame_proxy_recovery_admits_total");
-  static LatencyRecorder& pb = registry().latency("frame_delta_pb_ns");
-  admits.add();
+  static PerShard<LatencyRecorder> pb("frame_delta_pb_ns");
+  admits.get().add();
   if (recovery) recoveries.add();
-  if (delta_pb >= 0) pb.record(static_cast<double>(delta_pb));
+  if (delta_pb >= 0) pb.get().record(static_cast<double>(delta_pb));
   span(SpanKind::kProxyAdmit, topic, seq, kInvalidNode, now, delta_pb,
        kDurationInfinite, kDurationInfinite, trace_id);
 }
@@ -70,19 +127,17 @@ void proxy_admit_slow(TopicId topic, SeqNo seq, TimePoint now,
 void job_enqueue_slow(TopicId topic, SeqNo seq, TimePoint now, bool replicate,
                       Duration dd_slack, Duration dr_slack,
                       std::uint64_t trace_id) {
-  static Counter& dispatch_jobs =
-      registry().counter("frame_dispatch_jobs_total");
-  static Counter& replicate_jobs =
-      registry().counter("frame_replicate_jobs_total");
-  (replicate ? replicate_jobs : dispatch_jobs).add();
+  static PerShard<Counter> dispatch_jobs("frame_dispatch_jobs_total");
+  static PerShard<Counter> replicate_jobs("frame_replicate_jobs_total");
+  (replicate ? replicate_jobs : dispatch_jobs).get().add();
   span(SpanKind::kJobEnqueue, topic, seq, kInvalidNode, now,
        kDurationInfinite, dd_slack, dr_slack, trace_id);
 }
 
 void dispatch_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
                             Duration slack, std::uint64_t trace_id) {
-  static Counter& dispatches = registry().counter("frame_dispatches_total");
-  dispatches.add();
+  static PerShard<Counter> dispatches("frame_dispatches_total");
+  dispatches.get().add();
   if (slack != kDurationInfinite) {
     accountant().on_dispatch_executed(topic, slack);
   }
@@ -92,8 +147,8 @@ void dispatch_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
 
 void replicate_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
                              Duration slack, std::uint64_t trace_id) {
-  static Counter& replications = registry().counter("frame_replications_total");
-  replications.add();
+  static PerShard<Counter> replications("frame_replications_total");
+  replications.get().add();
   if (slack != kDurationInfinite) {
     accountant().on_replication_executed(topic, slack);
   }
@@ -104,11 +159,10 @@ void replicate_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
 void dispatch_stage_slow(TopicId topic, SeqNo seq, TimePoint done,
                          Duration queue_delay, Duration service,
                          std::uint64_t trace_id) {
-  static LatencyRecorder& qd =
-      registry().latency("frame_dispatch_queue_delay_ns");
-  static LatencyRecorder& svc = registry().latency("frame_dispatch_service_ns");
-  if (queue_delay >= 0) qd.record(static_cast<double>(queue_delay));
-  if (service >= 0) svc.record(static_cast<double>(service));
+  static PerShard<LatencyRecorder> qd("frame_dispatch_queue_delay_ns");
+  static PerShard<LatencyRecorder> svc("frame_dispatch_service_ns");
+  if (queue_delay >= 0) qd.get().record(static_cast<double>(queue_delay));
+  if (service >= 0) svc.get().record(static_cast<double>(service));
   // done == release + queue_delay + service, so the stitched
   // job-enqueue -> dispatch-done span equals the histogram sum exactly.
   span(SpanKind::kDispatchDone, topic, seq, kInvalidNode, done,
@@ -116,12 +170,10 @@ void dispatch_stage_slow(TopicId topic, SeqNo seq, TimePoint done,
 }
 
 void replicate_stage_slow(Duration queue_delay, Duration service) {
-  static LatencyRecorder& qd =
-      registry().latency("frame_replicate_queue_delay_ns");
-  static LatencyRecorder& svc =
-      registry().latency("frame_replicate_service_ns");
-  if (queue_delay >= 0) qd.record(static_cast<double>(queue_delay));
-  if (service >= 0) svc.record(static_cast<double>(service));
+  static PerShard<LatencyRecorder> qd("frame_replicate_queue_delay_ns");
+  static PerShard<LatencyRecorder> svc("frame_replicate_service_ns");
+  if (queue_delay >= 0) qd.get().record(static_cast<double>(queue_delay));
+  if (service >= 0) svc.get().record(static_cast<double>(service));
 }
 
 void copy_dropped_slow(TopicId topic, SeqNo seq, TimePoint now) {
@@ -142,16 +194,15 @@ void delivered_slow(TopicId topic, SeqNo seq, TimePoint now, Duration e2e,
 }
 
 void job_queue_depth_slow(std::size_t depth) {
-  static Gauge& gauge = registry().gauge("frame_job_queue_depth");
-  static Gauge& peak = registry().gauge("frame_job_queue_depth_peak");
-  gauge.set(static_cast<std::int64_t>(depth));
-  peak.set_max(static_cast<std::int64_t>(depth));
+  static PerShard<Gauge> gauge("frame_job_queue_depth");
+  static PerShard<Gauge> peak("frame_job_queue_depth_peak");
+  gauge.get().set(static_cast<std::int64_t>(depth));
+  peak.get().set_max(static_cast<std::int64_t>(depth));
 }
 
 void replication_cancelled_drop_slow() {
-  static Counter& drops =
-      registry().counter("frame_replications_cancelled_total");
-  drops.add();
+  static PerShard<Counter> drops("frame_replications_cancelled_total");
+  drops.get().add();
 }
 
 void backup_replica_stored_slow(TopicId topic, SeqNo seq, TimePoint now,

@@ -66,6 +66,26 @@ inline thread_local NodeId g_thread_node = kInvalidNode;
 inline NodeId thread_node() { return detail::g_thread_node; }
 inline void set_thread_node(NodeId node) { detail::g_thread_node = node; }
 
+/// "No shard": hooks record into the base-named instruments, exactly the
+/// pre-sharding behaviour.  Engine/unit tests and the simulator never set
+/// a shard, so their series are unchanged.
+inline constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+namespace detail {
+// Which Primary shard this thread's engine code is working for.  Shard
+// lanes set it so the hot-path instruments (queue depth, stage latencies,
+// dispatch/replicate counters) resolve to per-shard series
+// ("<base>_shard<k>"), which collect_snapshot folds back into the base
+// name at scrape time.  Without it, N shards publishing one global depth
+// gauge would clobber each other.
+inline thread_local std::size_t g_thread_shard = kNoShard;
+}  // namespace detail
+
+inline std::size_t thread_shard() { return detail::g_thread_shard; }
+inline void set_thread_shard(std::size_t shard) {
+  detail::g_thread_shard = shard;
+}
+
 /// RAII node attribution for a runtime thread or frame handler.
 class ThreadNodeScope {
  public:
@@ -78,6 +98,20 @@ class ThreadNodeScope {
 
  private:
   NodeId previous_;
+};
+
+/// RAII shard attribution for a broker shard lane.
+class ShardScope {
+ public:
+  explicit ShardScope(std::size_t shard) : previous_(thread_shard()) {
+    set_thread_shard(shard);
+  }
+  ~ShardScope() { set_thread_shard(previous_); }
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  std::size_t previous_;
 };
 
 MetricsRegistry& registry();

@@ -1,5 +1,8 @@
 #include "runtime/runtime_broker.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "broker/failure_detector.hpp"
 #include "common/log.hpp"
 #include "obs/obs.hpp"
@@ -8,7 +11,21 @@ namespace frame::runtime {
 
 namespace {
 constexpr eventsvc::EventType kMessageEventType = 1;
+
+void accumulate(PrimaryEngine::Stats& total, const PrimaryEngine::Stats& s) {
+  total.arrivals += s.arrivals;
+  total.recovery_arrivals += s.recovery_arrivals;
+  total.dispatch_jobs_created += s.dispatch_jobs_created;
+  total.replicate_jobs_created += s.replicate_jobs_created;
+  total.dispatches_executed += s.dispatches_executed;
+  total.replications_executed += s.replications_executed;
+  total.replications_aborted += s.replications_aborted;
+  total.replicate_jobs_cancelled += s.replicate_jobs_cancelled;
+  total.prune_requests += s.prune_requests;
+  total.stale_jobs += s.stale_jobs;
+  total.overwritten_undelivered += s.overwritten_undelivered;
 }
+}  // namespace
 
 RuntimeBroker::RuntimeBroker(Bus& bus, const MonotonicClock& clock,
                              Options options, std::vector<TopicSpec> topics,
@@ -19,9 +36,17 @@ RuntimeBroker::RuntimeBroker(Bus& bus, const MonotonicClock& clock,
       topics_(std::move(topics)),
       params_(params),
       channel_(std::make_unique<eventsvc::SynchronousDispatcher>()) {
+  options_.shards = std::clamp<std::size_t>(options_.shards, 1, kMaxShards);
+  shards_.reserve(options_.shards);
+  for (std::size_t k = 0; k < options_.shards; ++k) {
+    shards_.push_back(std::make_unique<Shard>(options_.shard_inbox_capacity));
+  }
+
   if (options_.start_as_primary) {
-    primary_ = std::make_unique<PrimaryEngine>(options_.broker, topics_,
-                                               params_);
+    for (auto& shard : shards_) {
+      shard->engine = std::make_unique<PrimaryEngine>(options_.broker,
+                                                      topics_, params_);
+    }
     is_primary_.store(true, std::memory_order_release);
     has_peer_.store(true, std::memory_order_release);
   } else {
@@ -29,11 +54,11 @@ RuntimeBroker::RuntimeBroker(Bus& bus, const MonotonicClock& clock,
     backup_->configure(topics_.size());
   }
 
-  // Fig. 5b wiring: supplier pushes land in FRAME's Message Proxy.
+  // Fig. 5b wiring: supplier pushes land in FRAME's Message Proxy.  The
+  // hook runs on the producer's thread and must not decode: it peeks the
+  // topic and hands the raw frame to the owning shard.
   channel_.set_intake_hook([this](const eventsvc::Event& event) {
-    if (auto msg = decode_message_frame(event.payload)) {
-      on_publish_frame(*msg);
-    }
+    on_publish_event(event);
   });
 
   bus_.register_endpoint(options_.node,
@@ -47,7 +72,13 @@ RuntimeBroker::~RuntimeBroker() { stop(); }
 void RuntimeBroker::subscribe(TopicId topic, NodeId subscriber) {
   std::lock_guard lock(mutex_);
   subscriptions_.emplace_back(topic, subscriber);
-  if (primary_) primary_->subscribe(topic, subscriber);
+  {
+    // Only the owning shard's engine ever sees this topic's traffic, so
+    // only it needs the subscription.
+    Shard& shard = *shards_[shard_index(topic)];
+    std::lock_guard shard_lock(shard.mutex);
+    if (shard.engine) shard.engine->subscribe(topic, subscriber);
+  }
   // Consumer proxy: pushing to it sends the event payload over the bus.
   auto& proxy = channel_.obtain_push_supplier(subscriber);
   if (!proxy.connected()) {
@@ -69,8 +100,17 @@ void RuntimeBroker::start() {
     std::lock_guard lock(mutex_);
     last_peer_reply_ = clock_.now();
   }
-  for (std::size_t i = 0; i < options_.delivery_threads; ++i) {
-    delivery_pool_.emplace_back([this] { delivery_loop(); });
+  // Spread the delivery threads across shards, at least one lane each.
+  // shards == 1 keeps the original pool-of-3 shape.
+  const std::size_t shards = shards_.size();
+  const std::size_t threads =
+      std::max(options_.delivery_threads, shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    const std::size_t lanes =
+        threads / shards + (k < threads % shards ? 1 : 0);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      delivery_pool_.emplace_back([this, k] { shard_loop(k); });
+    }
   }
   // Both roles watch their peer: the Backup to promote itself, the Primary
   // to stop replicating to (and blocking on) a dead Backup.
@@ -81,7 +121,10 @@ void RuntimeBroker::start() {
 
 void RuntimeBroker::stop() {
   stop_.store(true, std::memory_order_release);
-  job_cv_.notify_all();
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->cv.notify_all();
+  }
   for (auto& worker : delivery_pool_) {
     if (worker.joinable()) worker.join();
   }
@@ -92,12 +135,19 @@ void RuntimeBroker::stop() {
 void RuntimeBroker::crash() {
   crashed_.store(true, std::memory_order_release);
   bus_.crash(options_.node);
-  job_cv_.notify_all();
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->cv.notify_all();
+  }
 }
 
 PrimaryEngine::Stats RuntimeBroker::primary_stats() const {
-  std::lock_guard lock(mutex_);
-  return primary_ ? primary_->stats() : PrimaryEngine::Stats{};
+  PrimaryEngine::Stats total{};
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    if (shard->engine) accumulate(total, shard->engine->stats());
+  }
+  return total;
 }
 
 BackupEngine::Stats RuntimeBroker::backup_stats() const {
@@ -182,11 +232,18 @@ void RuntimeBroker::on_frame(NodeId from, std::vector<std::uint8_t> frame) {
           hello->role != static_cast<std::uint8_t>(NodeRole::kBackupBroker)) {
         break;
       }
-      // A fresh Backup joined: ship the sync set and resume replication.
+      // A fresh Backup joined: ship the sync set (gathered across every
+      // shard engine) and resume replication.
       std::vector<Message> sync;
       {
         std::lock_guard lock(mutex_);
-        if (primary_) sync = primary_->backup_sync_set();
+        for (auto& shard : shards_) {
+          std::lock_guard shard_lock(shard->mutex);
+          if (shard->engine) {
+            auto part = shard->engine->backup_sync_set();
+            sync.insert(sync.end(), part.begin(), part.end());
+          }
+        }
         options_.peer = hello->node;
         // The Hello is proof of life; without this the detector could
         // re-suspect the new Backup before its first poll reply lands.
@@ -209,31 +266,68 @@ void RuntimeBroker::on_frame(NodeId from, std::vector<std::uint8_t> frame) {
   }
 }
 
-void RuntimeBroker::on_publish_frame(const Message& msg) {
+void RuntimeBroker::on_publish_event(const eventsvc::Event& event) {
+  if (crashed_.load(std::memory_order_acquire) ||
+      stop_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (is_primary_.load(std::memory_order_acquire)) {
+    // Primary fast path: no decode, no global lock — peek the topic and
+    // hand the frame to its shard.  Engines exist for the whole time
+    // is_primary_ is true (promote creates them before the flag flips).
+    route_to_shard(event.payload);
+    return;
+  }
+  // Backup / not-yet-promoted: a redirected publisher raced ahead of the
+  // detector.  Store straight into the Backup Buffer so the copy is part
+  // of the recovery set.
+  const auto msg = decode_message_frame(event.payload);
+  if (!msg.has_value()) return;
   {
     std::lock_guard lock(mutex_);
-    if (!primary_) {
-      // Not promoted yet: a redirected publisher raced ahead of the
-      // detector.  Store straight into the Backup Buffer so the copy is
-      // part of the recovery set.
-      if (backup_) backup_->on_replica(msg, clock_.now());
+    // promote() flips is_primary_ while holding mutex_, so this re-check
+    // is race-free: either we are still Backup here, or the shard engines
+    // are fully built and the fast path below is safe.
+    if (!is_primary_.load(std::memory_order_acquire)) {
+      if (backup_) backup_->on_replica(*msg, clock_.now());
       return;
     }
-    // Retention-replay dedup: a kResend (or a duplicated kPublish) for a
-    // seq this broker already queued for dispatch must not double-deliver.
-    if (!mark_dispatched_locked(msg.topic, msg.seq)) {
-      duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
-      obs::hooks::broker_duplicate_suppressed(msg.topic, msg.seq);
-      return;
-    }
-    primary_->on_publish(msg, clock_.now(),
-                         has_peer_.load(std::memory_order_acquire));
   }
-  job_cv_.notify_one();
+  route_to_shard(event.payload);
 }
 
-bool RuntimeBroker::mark_dispatched_locked(TopicId topic, SeqNo seq) {
-  auto& bits = dispatched_bits_[topic];
+void RuntimeBroker::route_to_shard(const std::vector<std::uint8_t>& frame) {
+  const auto topic = peek_message_topic(frame);
+  if (!topic.has_value()) return;
+  Shard& shard = *shards_[shard_index(*topic)];
+  std::vector<std::uint8_t> copy = frame;
+  while (!shard.inbox.try_push(copy)) {
+    // Bounded ring full: backpressure the producer rather than drop an
+    // accepted publish.  Lanes drain continuously, so this resolves unless
+    // the broker is crashing — in which case the frame is droppable
+    // in-flight traffic anyway.
+    if (crashed_.load(std::memory_order_acquire) ||
+        stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    inbox_backpressure_.fetch_add(1, std::memory_order_relaxed);
+    obs::hooks::send_backpressure(options_.node);
+    std::this_thread::yield();
+  }
+  // Wake an idle lane.  The fence pairs with the one in shard_loop: either
+  // the lane sees our push when it re-checks the inbox, or we see its
+  // idle_lanes increment and notify.  The empty lock_guard closes the gap
+  // where the lane has re-checked but not yet entered wait.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (shard.idle_lanes.load(std::memory_order_relaxed) > 0) {
+    { std::lock_guard lock(shard.mutex); }
+    shard.cv.notify_one();
+  }
+}
+
+bool RuntimeBroker::mark_dispatched_locked(Shard& shard, TopicId topic,
+                                           SeqNo seq) {
+  auto& bits = shard.dispatched_bits[topic];
   const std::size_t word = static_cast<std::size_t>(seq / 64);
   const std::uint64_t mask = 1ull << (seq % 64);
   if (word >= bits.size()) bits.resize(word + 1, 0);
@@ -242,21 +336,66 @@ bool RuntimeBroker::mark_dispatched_locked(TopicId topic, SeqNo seq) {
   return true;
 }
 
-void RuntimeBroker::delivery_loop() {
+bool RuntimeBroker::drain_inbox_locked(Shard& shard) {
+  bool admitted = false;
+  while (auto frame = shard.inbox.try_pop()) {
+    admitted = true;
+    const auto msg = decode_message_frame(*frame);
+    if (!msg.has_value()) continue;
+    if (!shard.engine) {
+      // Demoted mid-flight (restart_as_backup drains inboxes, but a frame
+      // can still slip in between drain and lane shutdown): in-flight
+      // traffic at a role change is droppable, same as a crash.
+      continue;
+    }
+    // Retention-replay dedup: a kResend (or a duplicated kPublish) for a
+    // seq this broker already queued for dispatch must not double-deliver.
+    if (!mark_dispatched_locked(shard, msg->topic, msg->seq)) {
+      duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      obs::hooks::broker_duplicate_suppressed(msg->topic, msg->seq);
+      continue;
+    }
+    shard.engine->on_publish(*msg, clock_.now(),
+                             has_peer_.load(std::memory_order_acquire));
+  }
+  // If admission created several jobs, one lane cannot drain them alone.
+  if (admitted && shard.idle_lanes.load(std::memory_order_relaxed) > 0) {
+    shard.cv.notify_one();
+  }
+  return admitted;
+}
+
+void RuntimeBroker::shard_loop(std::size_t shard_index) {
   obs::ThreadNodeScope node_scope(options_.node);
-  std::unique_lock lock(mutex_);
+  // With one shard, record into the unsharded base series (pre-sharding
+  // behaviour); with several, split per shard and fold at scrape time.
+  obs::ShardScope shard_scope(shards_.size() > 1 ? shard_index
+                                                 : obs::kNoShard);
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock lock(shard.mutex);
   while (true) {
-    job_cv_.wait(lock, [&] {
-      return stop_.load(std::memory_order_relaxed) ||
-             crashed_.load(std::memory_order_relaxed) ||
-             (primary_ && primary_->has_jobs());
-    });
     if (stop_.load(std::memory_order_relaxed) ||
         crashed_.load(std::memory_order_relaxed)) {
       return;
     }
-    auto job = primary_->next_job();
-    if (!job.has_value()) continue;
+    // Admit pending frames first: admission is what creates jobs, and the
+    // proxy timestamps (ΔPB) should reflect the hand-off wait.
+    const bool admitted = drain_inbox_locked(shard);
+
+    std::optional<Job> job;
+    if (shard.engine) job = shard.engine->next_job();
+    if (!job.has_value()) {
+      if (admitted) continue;  // drained frames but no runnable job yet
+      // Idle: publish intent, re-check the inbox (pairs with the producer
+      // fence in route_to_shard), then wait with a timeout backstop.
+      shard.idle_lanes.fetch_add(1, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (shard.inbox.empty()) {
+        shard.cv.wait_for(lock, std::chrono::milliseconds(2));
+      }
+      shard.idle_lanes.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
 
     // Per-stage attribution: queue delay is execute-start minus the job's
     // release (the same clock the enqueue hook stamped), service is the
@@ -266,7 +405,7 @@ void RuntimeBroker::delivery_loop() {
     const Duration queue_delay = t_exec - job->release;
 
     if (job->kind == JobKind::kDispatch) {
-      DispatchEffect effect = primary_->execute_dispatch(*job, t_exec);
+      DispatchEffect effect = shard.engine->execute_dispatch(*job, t_exec);
       const bool prune = effect.prune_backup &&
                          options_.peer != kInvalidNode &&
                          has_peer_.load(std::memory_order_acquire);
@@ -293,7 +432,7 @@ void RuntimeBroker::delivery_loop() {
       }
       lock.lock();
     } else {
-      ReplicateEffect effect = primary_->execute_replicate(*job, t_exec);
+      ReplicateEffect effect = shard.engine->execute_replicate(*job, t_exec);
       lock.unlock();
       if (effect.executed && options_.peer != kInvalidNode &&
           has_peer_.load(std::memory_order_acquire)) {
@@ -358,47 +497,65 @@ void RuntimeBroker::detector_loop() {
 void RuntimeBroker::promote() {
   {
     std::lock_guard lock(mutex_);
-    if (primary_ || !backup_) return;
+    if (is_primary_.load(std::memory_order_acquire) || !backup_) return;
     FRAME_LOG_INFO("broker %u: promoting to Primary", options_.node);
-    primary_ = std::make_unique<PrimaryEngine>(options_.broker, topics_,
-                                               params_);
-    for (const auto& [topic, subscriber] : subscriptions_) {
-      primary_->subscribe(topic, subscriber);
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      Shard& shard = *shards_[k];
+      std::lock_guard shard_lock(shard.mutex);
+      shard.engine = std::make_unique<PrimaryEngine>(options_.broker,
+                                                     topics_, params_);
+      for (const auto& [topic, subscriber] : subscriptions_) {
+        if (shard_index(topic) == k) shard.engine->subscribe(topic, subscriber);
+      }
     }
     // Recovery: dispatch the pruned Backup Buffer set first (Section IV-A).
-    // Each copy is run through the dedup bitmap so the retention resends
-    // that follow promotion cannot re-admit a seq recovered here.
+    // Each copy routes through its owning shard's dedup bitmap so the
+    // retention resends that follow promotion cannot re-admit a seq
+    // recovered here.
     const TimePoint now = clock_.now();
     const std::vector<Message> recovery = backup_->promote();
     std::size_t recovered = 0;
     for (const auto& msg : recovery) {
-      if (!mark_dispatched_locked(msg.topic, msg.seq)) {
+      const std::size_t idx = shard_index(msg.topic);
+      Shard& shard = *shards_[idx];
+      std::lock_guard shard_lock(shard.mutex);
+      obs::ShardScope shard_scope(shards_.size() > 1 ? idx : obs::kNoShard);
+      if (!mark_dispatched_locked(shard, msg.topic, msg.seq)) {
         duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
         obs::hooks::broker_duplicate_suppressed(msg.topic, msg.seq);
         continue;
       }
-      primary_->on_recovery_copy(msg, now);
+      shard.engine->on_recovery_copy(msg, now);
       recovered += 1;
     }
     obs::hooks::promotion_complete(options_.node, clock_.now(), recovered);
     has_peer_.store(false, std::memory_order_release);
     is_primary_.store(true, std::memory_order_release);
   }
-  job_cv_.notify_all();
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->cv.notify_all();
+  }
 }
 
 void RuntimeBroker::restart_as_backup(NodeId new_primary) {
   stop();  // join any threads from the previous life
   {
     std::lock_guard lock(mutex_);
-    primary_.reset();
+    for (auto& shard : shards_) {
+      std::lock_guard shard_lock(shard->mutex);
+      shard->engine.reset();
+      // A restarted process has no dispatch history; the subscriber-side
+      // bitmap is the guard against cross-life duplicates.
+      shard->dispatched_bits.clear();
+      // Frames from the previous life are droppable in-flight traffic.
+      while (shard->inbox.try_pop()) {
+      }
+    }
     backup_ = std::make_unique<BackupEngine>(options_.broker);
     backup_->configure(topics_.size());
     options_.peer = new_primary;
     options_.start_as_primary = false;
-    // A restarted process has no dispatch history; the subscriber-side
-    // bitmap is the guard against cross-life duplicates.
-    dispatched_bits_.clear();
   }
   is_primary_.store(false, std::memory_order_release);
   has_peer_.store(false, std::memory_order_release);

@@ -6,10 +6,19 @@
 // Supplier Proxies' push hook feeds FRAME's Message Proxy, and FRAME's
 // Message Delivery pushes out through the Consumer Proxies.
 //
-// Threading: the engines are single-threaded state machines, so all engine
-// access is serialised by one mutex; the Dispatcher/Replicator pool pops
-// jobs under the lock and performs network sends outside it, mirroring the
-// paper's pool of generic threads.
+// Threading (DESIGN.md §12): the Primary hot path is partitioned into
+// `shards` independent lanes.  Topics map to shards by consistent hash
+// (core/topic_sharding.hpp), so one topic's admissions, EDF queue and
+// dispatch/replicate jobs all live in a single shard — per-topic deadline
+// order (the property Lemmas 1/2 need) is preserved while unrelated topics
+// proceed in parallel.  Producers (bus endpoint handlers, publishers racing
+// a promotion) hand raw frames to a shard through a bounded MPSC ring; the
+// shard's lane threads drain the ring, admit under the shard mutex, then
+// pop one EDF job and perform network sends outside any lock.  Everything
+// that is not per-topic hot path (Backup engine, failure detector state,
+// subscriptions, peer identity) stays behind the global mutex.  Lock order
+// is strictly global -> shard; no path takes them in the other direction.
+// With shards == 1 this degenerates to the original single-queue broker.
 #pragma once
 
 #include <atomic>
@@ -24,6 +33,8 @@
 #include "broker/backup_engine.hpp"
 #include "broker/config.hpp"
 #include "broker/primary_engine.hpp"
+#include "common/mpsc_ring.hpp"
+#include "core/topic_sharding.hpp"
 #include "eventsvc/event_channel.hpp"
 #include "net/bus.hpp"
 #include "net/wire.hpp"
@@ -47,6 +58,11 @@ class RuntimeBroker {
     bool start_as_primary = false;
     BrokerConfig broker;
     std::size_t delivery_threads = 3;     ///< paper: 3x cores; scaled down
+    /// Primary hot-path shards (clamped to [1, kMaxShards]).  The
+    /// delivery threads are spread across shards, at least one lane each.
+    std::size_t shards = 1;
+    /// Capacity of each shard's frame hand-off ring (rounded to 2^k).
+    std::size_t shard_inbox_capacity = 1024;
     Duration poll_period = milliseconds(10);
     int poll_miss_threshold = 3;
   };
@@ -100,6 +116,14 @@ class RuntimeBroker {
     return degraded_entries_.load(std::memory_order_relaxed);
   }
 
+  /// Pushes that found a shard inbox full and had to spin (backpressure).
+  std::uint64_t inbox_backpressure() const {
+    return inbox_backpressure_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Aggregate across all shard engines (empty when not Primary).
   PrimaryEngine::Stats primary_stats() const;
   BackupEngine::Stats backup_stats() const;
 
@@ -108,9 +132,34 @@ class RuntimeBroker {
   eventsvc::EventChannel& channel() { return channel_; }
 
  private:
+  /// One partition of the Primary hot path.  `engine`, `dispatched_bits`
+  /// and everything reached through them are guarded by `mutex`; the inbox
+  /// is lock-free on the producer side and drained under `mutex` so lanes
+  /// of the same shard admit in ring order.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::atomic<int> idle_lanes{0};
+    std::unique_ptr<PrimaryEngine> engine;
+    /// Per-topic bitmap of seqs this broker admitted for dispatch.
+    std::unordered_map<TopicId, std::vector<std::uint64_t>> dispatched_bits;
+    MpscRing<std::vector<std::uint8_t>> inbox;
+    explicit Shard(std::size_t inbox_capacity) : inbox(inbox_capacity) {}
+  };
+
+  std::size_t shard_index(TopicId topic) const {
+    return shard_of_topic(topic, shards_.size());
+  }
+
   void on_frame(NodeId from, std::vector<std::uint8_t> frame);
-  void on_publish_frame(const Message& msg);
-  void delivery_loop();
+  /// Intake hook: fast-path a publish/resend frame to its shard's ring, or
+  /// fall back to the Backup Buffer under the global mutex.
+  void on_publish_event(const eventsvc::Event& event);
+  void route_to_shard(const std::vector<std::uint8_t>& frame);
+  void shard_loop(std::size_t shard_index);
+  /// Admits every frame currently in the shard's inbox.  Returns true if
+  /// anything was consumed.  Caller holds the shard mutex.
+  bool drain_inbox_locked(Shard& shard);
   void detector_loop();
   void promote();
   void send_message(NodeId to, WireType type, const Message& msg);
@@ -119,8 +168,9 @@ class RuntimeBroker {
   /// false if it already was (the admission must be suppressed).  Only
   /// tracks this broker's own dispatch decisions — never peer prunes: a
   /// prune proves the PEER dispatched, and trusting it here would turn the
-  /// prune-applied/deliver-lost crash race into a permanent gap.
-  bool mark_dispatched_locked(TopicId topic, SeqNo seq);
+  /// prune-applied/deliver-lost crash race into a permanent gap.  Caller
+  /// holds the shard's mutex.
+  static bool mark_dispatched_locked(Shard& shard, TopicId topic, SeqNo seq);
 
   Bus& bus_;
   const MonotonicClock& clock_;
@@ -130,13 +180,13 @@ class RuntimeBroker {
 
   eventsvc::EventChannel channel_;
 
+  /// Global state: Backup engine, subscriptions, peer identity, detector
+  /// bookkeeping.  Lock order: mutex_ before any Shard::mutex.
   mutable std::mutex mutex_;
-  std::condition_variable job_cv_;
-  std::unique_ptr<PrimaryEngine> primary_;
   std::unique_ptr<BackupEngine> backup_;
   std::vector<std::pair<TopicId, NodeId>> subscriptions_;
-  /// Per-topic bitmap of seqs this broker admitted for dispatch.
-  std::unordered_map<TopicId, std::vector<std::uint64_t>> dispatched_bits_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<bool> is_primary_{false};
   std::atomic<bool> crashed_{false};
@@ -146,6 +196,7 @@ class RuntimeBroker {
   std::atomic<std::uint64_t> corrupt_frames_{0};
   std::atomic<std::uint64_t> duplicates_suppressed_{0};
   std::atomic<std::uint64_t> degraded_entries_{0};
+  std::atomic<std::uint64_t> inbox_backpressure_{0};
   TimePoint last_peer_reply_ = 0;
 
   std::vector<std::thread> delivery_pool_;

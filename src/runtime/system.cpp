@@ -63,6 +63,9 @@ EdgeSystem::EdgeSystem(SystemOptions options, std::vector<ProxyGroup> proxies)
   primary_opts.broker = broker_cfg;
   primary_opts.poll_period = options_.detector_poll;
   primary_opts.poll_miss_threshold = options_.detector_misses;
+  // Both brokers get the same shard count: the Backup's shards sit empty
+  // until a promotion turns it into the serving Primary.
+  primary_opts.shards = resolve_shard_count(options_.shards);
   primary_ = std::make_unique<RuntimeBroker>(*bus_, clock_, primary_opts,
                                              topics_, options_.timing);
 

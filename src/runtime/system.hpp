@@ -40,6 +40,10 @@ struct SystemOptions {
   Duration publisher_latency = microseconds(200);
   Duration detector_poll = milliseconds(10);
   int detector_misses = 3;
+  /// Primary hot-path shards per broker.  0 = auto: the FRAME_SHARDS
+  /// environment variable when set, else hardware_concurrency capped at 8
+  /// (see resolve_shard_count).  1 reproduces the pre-sharding broker.
+  std::size_t shards = 0;
   /// TCP transport only: cap on one connect attempt.  Bounds the time a
   /// publisher can lose to a dead Primary address during fail-over.
   Duration connect_timeout = milliseconds(250);

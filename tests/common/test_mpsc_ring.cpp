@@ -1,0 +1,145 @@
+// MpscRing: the bounded lock-free hand-off between frame producers and a
+// shard's lanes.  Covers single-thread semantics (FIFO, full-ring reject,
+// wraparound, payload release) and a multi-producer stress run that TSan
+// must pass cleanly — it is the concurrency contract of the shard inbox.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_ring.hpp"
+
+namespace frame {
+namespace {
+
+TEST(MpscRing, PushPopFifoOrder) {
+  MpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.try_push(int(i)));
+  }
+  EXPECT_EQ(ring.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(MpscRing<int>(9).capacity(), 16u);
+  EXPECT_EQ(MpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(MpscRing, FullRingRejectsAndPreservesTheValue) {
+  MpscRing<std::vector<int>> ring(2);
+  std::vector<int> a{1}, b{2}, c{3, 4, 5};
+  EXPECT_TRUE(ring.try_push(a));
+  EXPECT_TRUE(ring.try_push(b));
+  // The lvalue overload must leave a rejected value intact so the caller
+  // can retry under backpressure instead of losing an accepted publish.
+  EXPECT_FALSE(ring.try_push(c));
+  EXPECT_EQ(c, (std::vector<int>{3, 4, 5}));
+  ASSERT_TRUE(ring.try_pop().has_value());
+  EXPECT_TRUE(ring.try_push(c));
+}
+
+TEST(MpscRing, WraparoundManyTimesOverASmallRing) {
+  MpscRing<int> ring(4);
+  int next_out = 0;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ring.try_push(int(i)));
+    if (i % 3 == 2) {
+      // Drain in bursts so head and tail wrap at different phases.
+      for (int k = 0; k < 3; ++k) {
+        const auto v = ring.try_pop();
+        ASSERT_TRUE(v.has_value());
+        ASSERT_EQ(*v, next_out++);
+      }
+    }
+  }
+  while (auto v = ring.try_pop()) {
+    ASSERT_EQ(*v, next_out++);
+  }
+  EXPECT_EQ(next_out, 10000);
+}
+
+TEST(MpscRing, PopReleasesHeapPayloadBeforeSlotReuse) {
+  MpscRing<std::shared_ptr<int>> ring(4);
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = payload;
+  ASSERT_TRUE(ring.try_push(std::move(payload)));
+  {
+    const auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(**v, 42);
+  }
+  // The cell must not keep a copy alive after the pop returned.
+  EXPECT_TRUE(watch.expired());
+}
+
+// The shard-inbox contract under contention: N producers race pushes
+// (spinning on backpressure, as route_to_shard does), one consumer drains.
+// Every value must arrive exactly once and per-producer FIFO order must
+// hold.  Run under TSan to certify the memory ordering.
+TEST(MpscRing, MultiProducerStressWithWraparoundAndShutdown) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  constexpr std::uint64_t kStride = 1u << 20;
+  MpscRing<std::uint64_t> ring(64);  // small: forces constant wraparound
+
+  std::atomic<bool> start{false};
+  std::atomic<int> done_producers{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::uint64_t value = static_cast<std::uint64_t>(p) * kStride +
+                              static_cast<std::uint64_t>(i);
+        while (!ring.try_push(value)) {
+          std::this_thread::yield();
+        }
+      }
+      done_producers.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  std::vector<std::uint64_t> next_from(kProducers, 0);
+  std::uint64_t received = 0;
+  start.store(true, std::memory_order_release);
+  // Consumer: drain until all producers finished AND the ring is empty
+  // (the shutdown shape restart_as_backup uses).
+  for (;;) {
+    const auto v = ring.try_pop();
+    if (!v.has_value()) {
+      if (done_producers.load(std::memory_order_acquire) == kProducers &&
+          ring.empty()) {
+        break;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    const int p = static_cast<int>(*v / kStride);
+    const std::uint64_t i = *v % kStride;
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(i, next_from[p]) << "per-producer FIFO order violated";
+    ++next_from[p];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(received,
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+}  // namespace
+}  // namespace frame

@@ -187,6 +187,63 @@ TEST(JobQueue, DepthGaugeTracksCancelledDropsAndClear) {
   EXPECT_EQ(gauge.value(), 0);
 }
 
+// Regression: cancel_replication used to insert its key unconditionally,
+// so cancelling after the replicate job had already been popped (the
+// worker-pool race: one lane pops the replicate job while another lane's
+// dispatch still sees it as pending) grew cancelled_ forever.  Under a
+// dispatch-then-cancel churn loop the set must stay bounded by the
+// replicate jobs actually still queued.
+TEST(JobQueue, CancelledSetStaysBoundedUnderDispatchThenCancelChurn) {
+  JobQueue queue(SchedulingPolicy::kEdf);
+  for (SeqNo seq = 1; seq <= 10000; ++seq) {
+    queue.push(make_job(JobKind::kReplicate, 1, seq, milliseconds(1), 2 * seq));
+    queue.push(make_job(JobKind::kDispatch, 1, seq, milliseconds(2),
+                        2 * seq + 1));
+    // Drain both jobs first (the replicate job was "executed"), THEN the
+    // dispatch path cancels — exactly the ordering that leaked.
+    ASSERT_TRUE(queue.pop().has_value());
+    ASSERT_TRUE(queue.pop().has_value());
+    queue.cancel_replication(1, seq);
+    EXPECT_EQ(queue.cancelled_size(), 0u);
+    EXPECT_EQ(queue.pending_replicate_keys(), 0u);
+  }
+}
+
+// Cancelling a key that never had a replicate job (selective replication
+// suppressed it at generation time) must not grow the set either.
+TEST(JobQueue, CancelWithoutReplicateJobIsANoOp) {
+  JobQueue queue(SchedulingPolicy::kEdf);
+  for (SeqNo seq = 1; seq <= 100; ++seq) {
+    queue.cancel_replication(7, seq);
+  }
+  EXPECT_EQ(queue.cancelled_size(), 0u);
+
+  // ...and a real pending replicate job still cancels exactly as before.
+  queue.push(make_job(JobKind::kReplicate, 7, 1, milliseconds(1), 0));
+  queue.cancel_replication(7, 1);
+  EXPECT_EQ(queue.cancelled_size(), 1u);
+  EXPECT_TRUE(queue.empty());  // lazy drop via peek
+  EXPECT_EQ(queue.cancelled_size(), 0u);
+  EXPECT_EQ(queue.cancelled_drops(), 1u);
+}
+
+// clear() purges the cancelled set and the pending-replicate index along
+// with the heap, so a restarted queue starts from zero state.
+TEST(JobQueue, ClearPurgesCancelledAndPendingState) {
+  JobQueue queue(SchedulingPolicy::kEdf);
+  queue.push(make_job(JobKind::kReplicate, 3, 1, milliseconds(1), 0));
+  queue.push(make_job(JobKind::kReplicate, 3, 2, milliseconds(2), 1));
+  queue.cancel_replication(3, 1);
+  EXPECT_EQ(queue.cancelled_size(), 1u);
+  EXPECT_EQ(queue.pending_replicate_keys(), 2u);
+  queue.clear();
+  EXPECT_EQ(queue.cancelled_size(), 0u);
+  EXPECT_EQ(queue.pending_replicate_keys(), 0u);
+  // A post-clear cancel for a pre-clear key is a no-op, not a leak.
+  queue.cancel_replication(3, 2);
+  EXPECT_EQ(queue.cancelled_size(), 0u);
+}
+
 // peek() also performs lazy drops; a fully-cancelled queue must report
 // depth 0 after a peek even though no pop ever ran.
 TEST(JobQueue, DepthGaugeTracksDropsDuringPeek) {

@@ -1,0 +1,165 @@
+// Topic -> shard mapping and the ordering property that makes sharding
+// safe: for any topic, the EDF pop order of its shard's queue equals the
+// single global queue's pop order restricted to that topic — the only
+// ordering Lemmas 1 and 2 depend on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "core/job_queue.hpp"
+#include "core/topic_sharding.hpp"
+
+namespace frame {
+namespace {
+
+TEST(TopicSharding, SingleShardMapsEverythingToZero) {
+  for (TopicId t = 0; t < 100; ++t) {
+    EXPECT_EQ(shard_of_topic(t, 1), 0u);
+    EXPECT_EQ(shard_of_topic(t, 0), 0u);
+  }
+}
+
+TEST(TopicSharding, MappingIsStableAndInRange) {
+  for (std::size_t shards : {2u, 3u, 4u, 8u, 32u}) {
+    for (TopicId t = 0; t < 200; ++t) {
+      const std::size_t s = shard_of_topic(t, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, shard_of_topic(t, shards)) << "mapping must be pure";
+    }
+  }
+}
+
+TEST(TopicSharding, DenseTopicIdsSpreadAcrossShards) {
+  // splitmix64 avalanche: 64 dense ids over 4 shards must not pile onto
+  // one shard (plain modulo would stripe them; a broken hash could not).
+  constexpr std::size_t kShards = 4;
+  std::vector<int> load(kShards, 0);
+  for (TopicId t = 0; t < 64; ++t) {
+    ++load[shard_of_topic(t, kShards)];
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_GE(load[s], 4) << "shard " << s << " nearly empty";
+    EXPECT_LE(load[s], 40) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(TopicSharding, ResolveClampsExplicitRequests) {
+  EXPECT_EQ(resolve_shard_count(1), 1u);
+  EXPECT_EQ(resolve_shard_count(4), 4u);
+  EXPECT_EQ(resolve_shard_count(kMaxShards), kMaxShards);
+  EXPECT_EQ(resolve_shard_count(kMaxShards + 50), kMaxShards);
+}
+
+TEST(TopicSharding, ResolveAutoHonoursEnvironmentOverride) {
+  ::setenv("FRAME_SHARDS", "3", 1);
+  EXPECT_EQ(resolve_shard_count(0), 3u);
+  ::setenv("FRAME_SHARDS", "100", 1);
+  EXPECT_EQ(resolve_shard_count(0), kMaxShards);
+  ::setenv("FRAME_SHARDS", "garbage", 1);
+  const std::size_t fallback = resolve_shard_count(0);
+  EXPECT_GE(fallback, 1u);
+  EXPECT_LE(fallback, 8u);  // hardware_concurrency capped at 8
+  ::unsetenv("FRAME_SHARDS");
+  // An explicit request always wins over the environment.
+  ::setenv("FRAME_SHARDS", "7", 1);
+  EXPECT_EQ(resolve_shard_count(2), 2u);
+  ::unsetenv("FRAME_SHARDS");
+}
+
+// ---------------------------------------------------------------------------
+// Property: per-topic EDF order is shard-invariant.
+
+std::vector<Job> make_workload() {
+  // 8 topics x 40 seqs with pseudo-random deadlines (deterministic via
+  // shard_hash) and interleaved arrival order, both job kinds.
+  std::vector<Job> jobs;
+  std::uint64_t order = 0;
+  for (SeqNo seq = 1; seq <= 40; ++seq) {
+    for (TopicId topic = 0; topic < 8; ++topic) {
+      Job job;
+      job.topic = topic;
+      job.seq = seq;
+      job.order = order++;
+      job.release = static_cast<TimePoint>(seq * 100);
+      job.deadline = static_cast<TimePoint>(
+          shard_hash(topic * 1000 + seq) % 5000);  // heavy deadline ties too
+      job.kind = (shard_hash(seq * 8 + topic) % 3 == 0) ? JobKind::kReplicate
+                                                        : JobKind::kDispatch;
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
+}
+
+using PoppedByTopic = std::map<TopicId, std::vector<std::pair<SeqNo, JobKind>>>;
+
+PoppedByTopic drain(JobQueue& queue) {
+  PoppedByTopic out;
+  while (auto job = queue.pop()) {
+    out[job->topic].emplace_back(job->seq, job->kind);
+  }
+  return out;
+}
+
+TEST(TopicSharding, PerTopicEdfOrderMatchesSingleQueueUnderAnyShardCount) {
+  const std::vector<Job> workload = make_workload();
+
+  JobQueue global(SchedulingPolicy::kEdf);
+  for (const Job& job : workload) global.push(job);
+  const PoppedByTopic reference = drain(global);
+
+  for (std::size_t shards : {2u, 3u, 4u, 8u}) {
+    std::vector<JobQueue> queues(shards);
+    for (const Job& job : workload) {
+      queues[shard_of_topic(job.topic, shards)].push(job);
+    }
+    PoppedByTopic sharded;
+    for (auto& queue : queues) {
+      for (auto& [topic, popped] : drain(queue)) {
+        // Each topic lives in exactly one shard, so no interleaving to
+        // worry about when collecting.
+        ASSERT_TRUE(sharded[topic].empty());
+        sharded[topic] = std::move(popped);
+      }
+    }
+    EXPECT_EQ(sharded, reference)
+        << "per-topic pop order diverged at " << shards << " shards";
+  }
+}
+
+TEST(TopicSharding, CancellationIsShardLocalAndOrderPreserving) {
+  // Cancelling replications for one topic in its shard drops exactly the
+  // jobs the single-queue broker would drop, and leaves other topics'
+  // order untouched.
+  const std::vector<Job> workload = make_workload();
+
+  JobQueue global(SchedulingPolicy::kEdf);
+  for (const Job& job : workload) global.push(job);
+  for (SeqNo seq = 1; seq <= 40; ++seq) global.cancel_replication(3, seq);
+  const PoppedByTopic reference = drain(global);
+
+  constexpr std::size_t kShards = 4;
+  std::vector<JobQueue> queues(kShards);
+  for (const Job& job : workload) {
+    queues[shard_of_topic(job.topic, kShards)].push(job);
+  }
+  for (SeqNo seq = 1; seq <= 40; ++seq) {
+    queues[shard_of_topic(3, kShards)].cancel_replication(3, seq);
+  }
+  PoppedByTopic sharded;
+  for (auto& queue : queues) {
+    for (auto& [topic, popped] : drain(queue)) {
+      sharded[topic] = std::move(popped);
+    }
+    EXPECT_EQ(queue.cancelled_size(), 0u) << "cancelled set must drain";
+  }
+  EXPECT_EQ(sharded, reference);
+  for (const auto& [seq, kind] : sharded[3]) {
+    EXPECT_EQ(kind, JobKind::kDispatch) << "cancelled replicate survived";
+  }
+}
+
+}  // namespace
+}  // namespace frame

@@ -192,6 +192,108 @@ TEST(BenchDiff, NewAndRemovedSeriesAreReportedNotFailed) {
   EXPECT_NE(table.find("born_ns"), std::string::npos);
 }
 
+std::string report_json_ctx(const std::string& series_body,
+                            const std::string& build_type, int num_cpus,
+                            const std::string& sanitizer = "none") {
+  return std::string(R"({
+  "schema": "frame-bench-v1",
+  "suite": "micro",
+  "context": {
+    "git_sha": "abc123def456",
+    "library_build_type": ")") +
+         build_type + R"(",
+    "sanitizer": ")" + sanitizer +
+         R"(",
+    "num_cpus": )" + std::to_string(num_cpus) +
+         R"(,
+    "gated": true
+  },
+  "series": {)" + series_body +
+         "}\n}\n";
+}
+
+TEST(BenchDiff, BuildTypeMismatchDisablesGating) {
+  // A debug-built "regression" against a release baseline is the compiler
+  // flags, not the code: the diff must refuse to gate.
+  const auto old_report =
+      parse_ok(report_json_ctx(one_series("hot_ns", 100.0), "release", 4));
+  const auto new_report =
+      parse_ok(report_json_ctx(one_series("hot_ns", 1000.0), "debug", 4));
+  const auto diff = diff_bench_reports(old_report, new_report);
+  EXPECT_TRUE(diff.provenance_mismatch);
+  EXPECT_TRUE(diff.gating_disabled);
+  EXPECT_FALSE(diff.regression);
+  EXPECT_NE(diff.provenance_reason.find("build_type"), std::string::npos);
+  EXPECT_NE(diff.provenance_reason.find("release"), std::string::npos);
+  EXPECT_NE(diff.provenance_reason.find("debug"), std::string::npos);
+  // The series verdict still shows the movement, informationally.
+  EXPECT_EQ(diff.series[0].verdict, SeriesVerdict::kRegressed);
+  const std::string verdict = bench_diff_verdict(diff);
+  EXPECT_NE(verdict.find("ungated"), std::string::npos);
+  EXPECT_NE(verdict.find("provenance mismatch"), std::string::npos);
+}
+
+TEST(BenchDiff, CpuCountMismatchDisablesGating) {
+  const auto old_report =
+      parse_ok(report_json_ctx(one_series("hot_ns", 100.0), "release", 8));
+  const auto new_report =
+      parse_ok(report_json_ctx(one_series("hot_ns", 1000.0), "release", 1));
+  const auto diff = diff_bench_reports(old_report, new_report);
+  EXPECT_TRUE(diff.provenance_mismatch);
+  EXPECT_TRUE(diff.gating_disabled);
+  EXPECT_FALSE(diff.regression);
+  EXPECT_NE(diff.provenance_reason.find("num_cpus 8 vs 1"),
+            std::string::npos);
+}
+
+TEST(BenchDiff, SanitizerMismatchDisablesGating) {
+  const auto old_report = parse_ok(
+      report_json_ctx(one_series("hot_ns", 100.0), "release", 4, "none"));
+  const auto new_report = parse_ok(
+      report_json_ctx(one_series("hot_ns", 1000.0), "release", 4, "thread"));
+  const auto diff = diff_bench_reports(old_report, new_report);
+  EXPECT_TRUE(diff.provenance_mismatch);
+  EXPECT_FALSE(diff.regression);
+  EXPECT_NE(diff.provenance_reason.find("sanitizer"), std::string::npos);
+}
+
+TEST(BenchDiff, MultipleProvenanceFieldsListedTogether) {
+  const auto old_report =
+      parse_ok(report_json_ctx(one_series("hot_ns", 100.0), "release", 8));
+  const auto new_report =
+      parse_ok(report_json_ctx(one_series("hot_ns", 100.0), "debug", 1));
+  const auto diff = diff_bench_reports(old_report, new_report);
+  EXPECT_NE(diff.provenance_reason.find("build_type"), std::string::npos);
+  EXPECT_NE(diff.provenance_reason.find("num_cpus"), std::string::npos);
+}
+
+TEST(BenchDiff, MissingProvenanceFieldsDoNotMismatch) {
+  // Old baselines may predate the context fields; absence is not a
+  // divergence.
+  const std::string bare = std::string(R"({
+  "schema": "frame-bench-v1",
+  "suite": "micro",
+  "context": {"git_sha": "abc"},
+  "series": {)") + one_series("hot_ns", 100.0) +
+                           "}\n}\n";
+  const auto old_report = parse_ok(bare);
+  const auto new_report =
+      parse_ok(report_json_ctx(one_series("hot_ns", 100.0), "release", 4));
+  const auto diff = diff_bench_reports(old_report, new_report);
+  EXPECT_FALSE(diff.provenance_mismatch);
+  EXPECT_FALSE(diff.gating_disabled);
+}
+
+TEST(BenchDiff, MatchingProvenanceStillGates) {
+  const auto old_report =
+      parse_ok(report_json_ctx(one_series("hot_ns", 100.0), "release", 4));
+  const auto new_report =
+      parse_ok(report_json_ctx(one_series("hot_ns", 1000.0), "release", 4));
+  const auto diff = diff_bench_reports(old_report, new_report);
+  EXPECT_FALSE(diff.provenance_mismatch);
+  EXPECT_TRUE(diff.regression);
+}
+
 TEST(BenchDiff, CustomThreshold) {
   const auto old_report = parse_ok(report_json(one_series("hot_ns", 1000.0)));
   const auto new_report = parse_ok(report_json(one_series("hot_ns", 1150.0)));
