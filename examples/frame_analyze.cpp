@@ -16,6 +16,9 @@
 //       merges per-process tracer dumps (GET /trace, or EdgeSystem
 //       trace_dump()) into one timeline, prints the per-hop summary and
 //       optionally writes validated Perfetto JSON
+//   $ ./frame_analyze --postmortem <bundle-dir>
+//       renders a flight-recorder bundle (manifest, firing alerts, and a
+//       human-readable span timeline) written to FRAME_POSTMORTEM_DIR
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -25,6 +28,7 @@
 #include "core/capacity.hpp"
 #include "core/config_file.hpp"
 #include "core/differentiation.hpp"
+#include "obs/json.hpp"
 #include "obs/stitch.hpp"
 #include "sim/experiment.hpp"
 
@@ -98,6 +102,129 @@ int run_stitch(int argc, char** argv) {
   return 0;
 }
 
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int run_postmortem(int argc, char** argv) {
+  using namespace frame;
+
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: frame_analyze --postmortem <bundle-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[2];
+
+  // ---- manifest ----------------------------------------------------------
+  std::string manifest;
+  if (!read_file(dir + "/manifest.txt", manifest)) {
+    std::fprintf(stderr, "error: cannot read %s/manifest.txt\n", dir.c_str());
+    return 1;
+  }
+  if (manifest.rfind("frame-postmortem v1", 0) != 0) {
+    std::fprintf(stderr, "error: %s/manifest.txt is not a frame-postmortem "
+                 "v1 bundle\n", dir.c_str());
+    return 1;
+  }
+  std::printf("== post-mortem bundle: %s ==\n", dir.c_str());
+  {
+    std::istringstream lines(manifest);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!line.empty()) std::printf("  %s\n", line.c_str());
+    }
+  }
+
+  // ---- firing alerts (slo.json) ------------------------------------------
+  std::string slo_text;
+  if (read_file(dir + "/slo.json", slo_text)) {
+    const auto root = obs::parse_json(slo_text);
+    const obs::JsonValue* alerts =
+        root.has_value() ? root->find("alerts") : nullptr;
+    if (alerts == nullptr ||
+        alerts->type != obs::JsonValue::Type::kArray) {
+      std::fprintf(stderr, "error: slo.json has no alerts array\n");
+      return 1;
+    }
+    std::printf("\nalert table at trigger time:\n");
+    for (const auto& alert : alerts->array) {
+      const obs::JsonValue* name = alert.find("name");
+      const obs::JsonValue* severity = alert.find("severity");
+      const obs::JsonValue* value = alert.find("value");
+      const obs::JsonValue* firing = alert.find("firing");
+      if (name == nullptr || firing == nullptr) continue;
+      std::printf("  [%s] %-28s %-8s value=%.3f\n",
+                  firing->type == obs::JsonValue::Type::kBool &&
+                          firing->boolean
+                      ? "FIRING"
+                      : "  ok  ",
+                  name->str.c_str(),
+                  severity != nullptr ? severity->str.c_str() : "?",
+                  value != nullptr ? value->number : 0.0);
+    }
+  } else {
+    std::printf("\n(no slo.json in bundle)\n");
+  }
+
+  // ---- span timeline (trace.dump) ----------------------------------------
+  std::string trace_text;
+  if (!read_file(dir + "/trace.dump", trace_text)) {
+    std::fprintf(stderr, "error: cannot read %s/trace.dump\n", dir.c_str());
+    return 1;
+  }
+  const auto dumps = obs::parse_dumps(trace_text);
+  const obs::StitchReport report = obs::stitch(dumps);
+  std::printf("\n%s", obs::stitch_summary(report).c_str());
+
+  // Human-readable tail of the timeline: the spans closest to the trigger
+  // are the ones that explain it.
+  constexpr std::size_t kTimelineTail = 40;
+  const std::size_t start = report.events.size() > kTimelineTail
+                                ? report.events.size() - kTimelineTail
+                                : 0;
+  if (!report.events.empty()) {
+    std::printf("\nlast %zu spans before the trigger:\n",
+                report.events.size() - start);
+    const std::int64_t origin = report.events[start].wall_at;
+    for (std::size_t i = start; i < report.events.size(); ++i) {
+      const auto& se = report.events[i];
+      std::string detail;
+      if (se.event.dd_slack != kDurationInfinite) {
+        detail = "  dd_slack=" + std::to_string(to_millis(se.event.dd_slack)) +
+                 "ms";
+        if (se.event.dd_slack < 0) detail += "  <-- LEMMA 2 MISS";
+      }
+      if (se.event.dr_slack != kDurationInfinite) {
+        detail += "  dr_slack=" +
+                  std::to_string(to_millis(se.event.dr_slack)) + "ms";
+        if (se.event.dr_slack < 0) detail += "  <-- LEMMA 1 MISS";
+      }
+      std::printf("  +%10.3fms  %-17s topic=%-3u seq=%-6llu node=%u%s\n",
+                  static_cast<double>(se.wall_at - origin) / 1e6,
+                  std::string(obs::to_string(se.event.kind)).c_str(),
+                  se.event.topic,
+                  static_cast<unsigned long long>(se.event.seq),
+                  se.event.node, detail.c_str());
+    }
+  }
+
+  // metrics.json is part of the bundle contract; verify it parses so a
+  // truncated bundle fails loudly here rather than in a downstream tool.
+  std::string metrics_text;
+  if (!read_file(dir + "/metrics.json", metrics_text) ||
+      !obs::parse_json(metrics_text).has_value()) {
+    std::fprintf(stderr, "error: metrics.json missing or unparsable\n");
+    return 1;
+  }
+  std::printf("\nbundle ok: manifest, slo.json, trace.dump, metrics.json\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +232,9 @@ int main(int argc, char** argv) {
 
   if (argc > 1 && std::string(argv[1]) == "--stitch") {
     return run_stitch(argc, argv);
+  }
+  if (argc > 1 && std::string(argv[1]) == "--postmortem") {
+    return run_postmortem(argc, argv);
   }
 
   bool simulate = false;

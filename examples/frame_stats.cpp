@@ -44,6 +44,7 @@ const char* span_kind_name(frame::obs::SpanKind kind) {
     case SpanKind::kRetentionReplay: return "retention-replay";
     case SpanKind::kBackupStored: return "backup-stored";
     case SpanKind::kRedirect: return "redirect";
+    case SpanKind::kDispatchDone: return "dispatch-done";
   }
   return "?";
 }
@@ -119,6 +120,9 @@ int main(int argc, char** argv) {
     // Scripts scrape while the scenario runs: announce the port first and
     // make sure it leaves the stdout buffer before the sleeps below.
     std::printf("TELEMETRY_PORT=%u\n", system.telemetry_port());
+    std::printf(
+        "ENDPOINTS=/metrics /snapshot.json /healthz /trace /alerts "
+        "/slo.json\n");
     std::fflush(stdout);
   }
   system.start();

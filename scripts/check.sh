@@ -111,3 +111,75 @@ wait "$stats_pid"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
     "$smoke_dir/edge.perfetto.json"
 echo "telemetry + stitch: OK"
+
+# Smoke test: SLO alerts + flight recorder end to end.  frame_stats --serve
+# crashes its Primary mid-run; with FRAME_POSTMORTEM_DIR armed the failover
+# trigger must freeze exactly one post-mortem bundle, /alerts must serve the
+# evaluated rule table, /healthz must flip to 503 while the promoted Backup
+# serves without a live peer, and frame_analyze --postmortem must be able to
+# read the bundle back.
+echo "--- flight recorder + SLO alerts smoke test ---"
+pm_dir="$smoke_dir/postmortem"
+mkdir -p "$pm_dir"
+FRAME_POSTMORTEM_DIR="$pm_dir" "$build_dir/examples/frame_stats" --serve \
+    >"$smoke_dir/slo.out" 2>/dev/null &
+slo_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^TELEMETRY_PORT=\([0-9]*\)$/\1/p' "$smoke_dir/slo.out")"
+  [[ -n "$port" ]] && break
+  sleep 0.05
+done
+if [[ -z "$port" ]]; then
+  echo "error: frame_stats --serve (flight recorder run) announced no port" >&2
+  kill "$slo_pid" 2>/dev/null || true
+  exit 1
+fi
+curl -sf "http://127.0.0.1:$port/alerts" | grep -q '"alerts"' \
+    || { echo "error: /alerts missing alert table" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$port/slo.json" | grep -q '"topics"' \
+    || { echo "error: /slo.json missing topics" >&2; exit 1; }
+health_503=""
+for _ in $(seq 1 200); do
+  code="$(curl -s -o "$smoke_dir/healthz.json" -w '%{http_code}' \
+      "http://127.0.0.1:$port/healthz" || true)"
+  if [[ "$code" == "503" ]]; then health_503=yes; break; fi
+  sleep 0.05
+done
+if [[ -z "$health_503" ]]; then
+  echo "error: /healthz never returned 503 after the scripted crash" >&2
+  kill "$slo_pid" 2>/dev/null || true
+  exit 1
+fi
+grep -q '"reason"' "$smoke_dir/healthz.json" \
+    || { echo "error: 503 /healthz body carries no reason" >&2; exit 1; }
+wait "$slo_pid"
+bundle_count="$(find "$pm_dir" -maxdepth 1 -type d -name 'frame-postmortem-*' \
+    | wc -l)"
+if [[ "$bundle_count" != "1" ]]; then
+  echo "error: expected exactly 1 post-mortem bundle, found $bundle_count" >&2
+  exit 1
+fi
+bundle="$(find "$pm_dir" -maxdepth 1 -type d -name 'frame-postmortem-*')"
+grep -q '^frame-postmortem v1$' "$bundle/manifest.txt" \
+    || { echo "error: bundle manifest missing magic" >&2; exit 1; }
+"$build_dir/examples/frame_analyze" --postmortem "$bundle" >/dev/null \
+    || { echo "error: frame_analyze --postmortem rejected the bundle" >&2
+         exit 1; }
+
+# Fatal-signal path: SIGSEGV must leave an async-signal-safe crash record
+# (pre-formatted at arm time; the handler only open/write/closes).
+FRAME_POSTMORTEM_DIR="$pm_dir" "$build_dir/examples/frame_stats" --serve \
+    >"$smoke_dir/crash.out" 2>/dev/null &
+crash_pid=$!
+for _ in $(seq 1 100); do
+  grep -q '^TELEMETRY_PORT=' "$smoke_dir/crash.out" && break
+  sleep 0.05
+done
+kill -SEGV "$crash_pid" 2>/dev/null || true
+wait "$crash_pid" 2>/dev/null || true
+grep -q '^frame-crash-record v1$' "$pm_dir/crash-record.txt" \
+    || { echo "error: SIGSEGV left no crash record" >&2; exit 1; }
+grep -q '^signo 011$' "$pm_dir/crash-record.txt" \
+    || { echo "error: crash record signo not patched" >&2; exit 1; }
+echo "flight recorder + SLO alerts: OK"

@@ -4,15 +4,15 @@
 #include <cassert>
 
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
 
 namespace frame {
 
 namespace {
-/// Remaining slack until an absolute deadline; infinite when either side
-/// is unknown/unbounded.
+/// Remaining slack until an absolute deadline (core/timing.hpp laxity —
+/// the headroom value the SLO monitor bins).
 Duration slack_until(TimePoint deadline, TimePoint now) {
-  if (deadline == kTimeNever || now == kTimeNever) return kDurationInfinite;
-  return deadline - now;
+  return laxity(deadline, now);
 }
 }  // namespace
 
@@ -34,7 +34,10 @@ PrimaryEngine::PrimaryEngine(BrokerConfig config, std::vector<TopicSpec> specs,
   // Install the topic table in the deadline accountant so slack/loss hooks
   // can attribute to Li/Di.  Only when observability is live: the sim runs
   // tens of thousands of topics with obs off and must not pay the slots.
-  if (obs::enabled()) obs::accountant().configure(specs_);
+  if (obs::enabled()) {
+    obs::accountant().configure(specs_);
+    obs::slo().configure(specs_);
+  }
 }
 
 void PrimaryEngine::subscribe(TopicId topic, NodeId subscriber) {

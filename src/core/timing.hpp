@@ -58,6 +58,23 @@ Status admission_test(const TopicSpec& spec, const TimingParams& params);
 std::uint32_t min_retention_for_admission(const TopicSpec& spec,
                                           const TimingParams& params);
 
+/// Laxity (deadline headroom) at job completion: the signed distance from
+/// the execution instant to the absolute lemma deadline.  Positive means
+/// the bound held with that much room to spare; negative is a Lemma 1/2
+/// violation by that amount.  Infinite when either side is unknown or the
+/// job carries no deadline (best-effort replication).  This is the value
+/// the engines report to obs::hooks::{dispatch,replicate}_executed and the
+/// quantity the SLO monitor's headroom gauges bin (obs/slo.hpp):
+///   dispatch    laxity = (tp + Dd) − now   (Lemma 2:  Dd = Di − ΔPB − ΔBS)
+///   replication laxity = (tp + Dr) − now   (Lemma 1:  Dr = (Ni+Li)·Ti −
+///                                                     ΔPB − ΔBB − x)
+constexpr Duration laxity(TimePoint absolute_deadline, TimePoint now) {
+  if (absolute_deadline == kTimeNever || now == kTimeNever) {
+    return kDurationInfinite;
+  }
+  return absolute_deadline - now;
+}
+
 /// Per-topic precomputed scheduling state, produced at configuration time
 /// and consumed by the Job Generator on every arrival.
 struct TopicTiming {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace frame {
@@ -40,6 +41,10 @@ FaultyBus::FaultyBus(std::unique_ptr<Bus> inner, FaultPlan plan)
     : inner_(std::move(inner)), plan_(std::move(plan)) {
   rules_.reserve(plan_.rules.size());
   for (const auto& rule : plan_.rules) rules_.push_back(ArmedRule{rule});
+  // Provenance for post-mortems: record the chaos seed unconditionally
+  // (a cheap store), not behind obs::enabled() — chaos tests typically
+  // enable observability only after the system is constructed.
+  obs::flight_recorder().set_chaos_seed(plan_.seed);
   releaser_ = std::thread([this] { release_loop(); });
 }
 

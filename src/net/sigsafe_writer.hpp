@@ -1,0 +1,83 @@
+// Async-signal-safe file writing helpers.
+//
+// Everything here is callable from a signal handler: no allocation, no
+// locks, no stdio, no errno-dependent retry loops beyond EINTR — only the
+// async-signal-safe syscalls open/write/fsync/close plus in-place integer
+// formatting into caller-provided buffers.  The flight recorder's fatal
+// path (obs/flight_recorder.cpp) uses these to append a pre-formatted
+// crash record; the TCP transport may use them for last-gasp diagnostics.
+//
+// This header is deliberately freestanding (no other frame headers, no
+// transport types) so layers below net — obs in particular — may include
+// it without inverting the library layering.
+#pragma once
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+namespace frame::sigsafe {
+
+/// Writes all of [data, data+len) to `fd`, retrying on EINTR and short
+/// writes.  Returns false on any other error.  Async-signal-safe.
+inline bool write_full(int fd, const char* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Appends the NUL-terminated string `s` to buf at `pos` (bounded by
+/// `cap`); returns the new position.  Never writes past cap.
+inline std::size_t append_str(char* buf, std::size_t cap, std::size_t pos,
+                              const char* s) {
+  while (*s != '\0' && pos < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+/// Appends `value` in decimal; handles 0 and the full uint64 range.
+inline std::size_t append_u64(char* buf, std::size_t cap, std::size_t pos,
+                              std::uint64_t value) {
+  char digits[20];
+  std::size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  while (n > 0 && pos < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
+/// Appends `value` in decimal with a leading '-' when negative.
+inline std::size_t append_i64(char* buf, std::size_t cap, std::size_t pos,
+                              std::int64_t value) {
+  if (value < 0) {
+    pos = append_str(buf, cap, pos, "-");
+    // Negate via unsigned to survive INT64_MIN.
+    return append_u64(buf, cap, pos,
+                      ~static_cast<std::uint64_t>(value) + 1);
+  }
+  return append_u64(buf, cap, pos, static_cast<std::uint64_t>(value));
+}
+
+/// open(2) with O_WRONLY|O_CREAT|O_APPEND, mode 0644, EINTR-retried.
+/// Returns -1 on failure.  Async-signal-safe.
+inline int open_append(const char* path) {
+  int fd;
+  do {
+    fd = ::open(path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+}  // namespace frame::sigsafe

@@ -44,11 +44,16 @@ void DeadlineAccountant::on_replication_executed(TopicId topic,
   if (slack < 0) s->replication_misses.fetch_add(1, std::memory_order_relaxed);
 }
 
-void DeadlineAccountant::on_delivery(TopicId topic, SeqNo seq, Duration e2e) {
+DeadlineAccountant::DeliveryOutcome DeadlineAccountant::on_delivery(
+    TopicId topic, SeqNo seq, Duration e2e) {
+  DeliveryOutcome outcome;
   TopicSlot* s = slot(topic);
-  if (s == nullptr) return;
+  if (s == nullptr) return outcome;
   s->deliveries.fetch_add(1, std::memory_order_relaxed);
-  if (e2e > s->deadline) s->e2e_misses.fetch_add(1, std::memory_order_relaxed);
+  if (e2e > s->deadline) {
+    s->e2e_misses.fetch_add(1, std::memory_order_relaxed);
+    outcome.e2e_miss = true;
+  }
   s->e2e_latency.record(static_cast<double>(e2e));
 
   // Consecutive-loss streaks: deliveries of a topic arrive in order except
@@ -62,15 +67,21 @@ void DeadlineAccountant::on_delivery(TopicId topic, SeqNo seq, Duration e2e) {
   }
   if (seq > prev + 1) {
     const std::uint64_t streak = seq - prev - 1;
+    outcome.losses = streak;
     s->losses_total.fetch_add(streak, std::memory_order_relaxed);
     std::uint64_t cur = s->max_loss_streak.load(std::memory_order_relaxed);
     while (streak > cur && !s->max_loss_streak.compare_exchange_weak(
                                cur, streak, std::memory_order_relaxed)) {
     }
     if (s->loss_tolerance != kLossInfinite && streak > s->loss_tolerance) {
-      s->loss_budget_exceeded.store(true, std::memory_order_relaxed);
+      // exchange: only the delivery that flips the flag reports the breach
+      // (the flight-recorder trigger wants the first occurrence).
+      outcome.breached_now =
+          !s->loss_budget_exceeded.exchange(true, std::memory_order_relaxed);
     }
   }
+  outcome.worst_streak = s->max_loss_streak.load(std::memory_order_relaxed);
+  return outcome;
 }
 
 TopicDeadlineSnapshot DeadlineAccountant::snapshot(TopicId topic) const {

@@ -51,6 +51,17 @@ struct TopicDeadlineSnapshot {
 
 class DeadlineAccountant {
  public:
+  /// What one delivery revealed about the topic's loss account.  Returned
+  /// from on_delivery so the caller (obs hooks) can feed the SLO monitor
+  /// and trigger the flight recorder without re-deriving streak state.
+  struct DeliveryOutcome {
+    std::uint64_t losses = 0;       ///< gap this delivery exposed
+    std::uint64_t worst_streak = 0; ///< max streak after this delivery
+    bool e2e_miss = false;          ///< e2e > Di
+    /// This delivery pushed the streak past Li for the first time.
+    bool breached_now = false;
+  };
+
   static DeadlineAccountant& instance();
 
   /// Installs the topic table (dense ids).  Growing is supported; calling
@@ -67,7 +78,7 @@ class DeadlineAccountant {
   void on_replication_executed(TopicId topic, Duration slack);
   /// A unique (first-copy) delivery of (topic, seq) with end-to-end
   /// latency `e2e` ns.
-  void on_delivery(TopicId topic, SeqNo seq, Duration e2e);
+  DeliveryOutcome on_delivery(TopicId topic, SeqNo seq, Duration e2e);
 
   TopicDeadlineSnapshot snapshot(TopicId topic) const;
   std::vector<TopicDeadlineSnapshot> snapshot_all() const;

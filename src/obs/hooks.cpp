@@ -7,6 +7,9 @@
 #include <array>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
+
 namespace frame::obs {
 
 MetricsRegistry& registry() { return MetricsRegistry::instance(); }
@@ -20,6 +23,7 @@ void reset_all() {
   registry().reset();
   tracer().clear();
   accountant().reset();
+  slo().reset();
 }
 
 namespace detail {
@@ -138,22 +142,32 @@ void dispatch_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
                             Duration slack, std::uint64_t trace_id) {
   static PerShard<Counter> dispatches("frame_dispatches_total");
   dispatches.get().add();
-  if (slack != kDurationInfinite) {
-    accountant().on_dispatch_executed(topic, slack);
-  }
   span(SpanKind::kDispatchStart, topic, seq, kInvalidNode, now,
        kDurationInfinite, slack, kDurationInfinite, trace_id);
+  if (slack != kDurationInfinite) {
+    accountant().on_dispatch_executed(topic, slack);
+    slo().on_dispatch_executed(topic, slack, now);
+    // Trigger last, after the span and the accounts: the frozen bundle
+    // must contain the very event that fired it.
+    if (slack < 0) {
+      flight_recorder().trigger(TriggerReason::kLemma2Miss, "", now);
+    }
+  }
 }
 
 void replicate_executed_slow(TopicId topic, SeqNo seq, TimePoint now,
                              Duration slack, std::uint64_t trace_id) {
   static PerShard<Counter> replications("frame_replications_total");
   replications.get().add();
-  if (slack != kDurationInfinite) {
-    accountant().on_replication_executed(topic, slack);
-  }
   span(SpanKind::kReplicated, topic, seq, kInvalidNode, now,
        kDurationInfinite, kDurationInfinite, slack, trace_id);
+  if (slack != kDurationInfinite) {
+    accountant().on_replication_executed(topic, slack);
+    slo().on_replication_executed(topic, slack, now);
+    if (slack < 0) {
+      flight_recorder().trigger(TriggerReason::kLemma1Miss, "", now);
+    }
+  }
 }
 
 void dispatch_stage_slow(TopicId topic, SeqNo seq, TimePoint done,
@@ -188,9 +202,13 @@ void delivered_slow(TopicId topic, SeqNo seq, TimePoint now, Duration e2e,
   static LatencyRecorder& latency = registry().latency("frame_e2e_latency_ns");
   deliveries.add();
   latency.record(static_cast<double>(e2e));
-  accountant().on_delivery(topic, seq, e2e);
   span(SpanKind::kDelivered, topic, seq, kInvalidNode, now, kDurationInfinite,
        e2e, kDurationInfinite, trace_id);
+  const auto outcome = accountant().on_delivery(topic, seq, e2e);
+  slo().on_delivery(topic, e2e, outcome.e2e_miss, outcome.worst_streak, now);
+  if (outcome.breached_now) {
+    flight_recorder().trigger(TriggerReason::kLossStreakBreach, "", now);
+  }
 }
 
 void job_queue_depth_slow(std::size_t depth) {
@@ -291,12 +309,14 @@ void send_backpressure_slow(NodeId node) {
 void crash_injected_slow(NodeId node, TimePoint now) {
   static Gauge& at = registry().gauge("frame_failover_crash_at_ns");
   at.set(now);
+  flight_recorder().trigger(TriggerReason::kFailover, "crash-injected", now);
   span(SpanKind::kCrash, kInvalidTopic, 0, node, now);
 }
 
 void failover_detected_slow(NodeId node, TimePoint now) {
   static Gauge& at = registry().gauge("frame_failover_detected_at_ns");
   at.set_max(now);
+  flight_recorder().trigger(TriggerReason::kFailover, "detector", now);
   span(SpanKind::kFailoverDetected, kInvalidTopic, 0, node, now);
 }
 

@@ -14,6 +14,7 @@
 #include "common/log.hpp"
 #include "net/epoll_loop.hpp"
 #include "obs/export.hpp"
+#include "obs/slo.hpp"
 #include "obs/stitch.hpp"
 
 namespace frame::obs {
@@ -28,6 +29,7 @@ std::string http_response(int status, const char* content_type,
   const char* reason = status == 200   ? "OK"
                        : status == 404 ? "Not Found"
                        : status == 405 ? "Method Not Allowed"
+                       : status == 503 ? "Service Unavailable"
                                        : "Bad Request";
   std::string out;
   out.reserve(body.size() + 128);
@@ -143,12 +145,25 @@ std::string HttpExporter::handle(const std::string& path,
     return to_json(collect_snapshot());
   }
   if (path == "/healthz") {
-    if (options_.healthz) return options_.healthz();
+    if (options_.healthz) return options_.healthz(status_out);
+    // Default: healthy unless the SLO alert table has a critical rule
+    // firing (evaluated at the latest event time the monitor has seen).
+    slo().evaluate(slo().latest_now());
+    if (slo().critical_firing()) {
+      status_out = 503;
+      return "{\"status\":\"critical\",\"reason\":\"critical alert firing\"}\n";
+    }
     return "{\"status\":\"ok\"}\n";
   }
   if (path == "/trace") {
     if (options_.trace_dump) return options_.trace_dump();
     return serialize_dump(collect_local_dump("local", 0));
+  }
+  if (path == "/alerts") {
+    return slo().alerts_json(0);
+  }
+  if (path == "/slo.json") {
+    return slo().slo_json(0);
   }
   status_out = 404;
   return "not found\n";
@@ -199,7 +214,8 @@ void HttpExporter::on_client_ready(int fd, std::uint32_t events) {
       if (query != std::string::npos) path.resize(query);
       int status = 200;
       const std::string body = handle(path, status);
-      const char* type = path == "/snapshot.json" || path == "/healthz"
+      const char* type = path == "/snapshot.json" || path == "/healthz" ||
+                                 path == "/alerts" || path == "/slo.json"
                              ? "application/json"
                              : "text/plain; version=0.0.4";
       client.out = http_response(status, type, body);

@@ -3,9 +3,13 @@
 // Routes (GET only, connection: close):
 //   /metrics        Prometheus text exposition of the metrics registry
 //   /snapshot.json  full ObsSnapshot as JSON
-//   /healthz        role / peer-liveness / degraded-mode JSON (caller-fed)
+//   /healthz        role / peer-liveness / degraded-mode JSON (caller-fed);
+//                   503 when the feeder reports degraded/critical state
 //   /trace          serialized TraceDump of the local tracer ring, for
 //                   cross-process stitching (obs/stitch.hpp)
+//   /alerts         evaluated AlertRule table from the SLO monitor (JSON)
+//   /slo.json       full SLO document: per-topic/per-shard burn rates,
+//                   headroom minima, and the alert table (obs/slo.hpp)
 //
 // The server shares the reactor's loop thread: request parsing, snapshot
 // collection and response writes all run there, so a scrape never blocks
@@ -35,8 +39,10 @@ class HttpExporter {
   struct Options {
     /// TCP port to listen on (loopback); 0 picks an ephemeral port.
     std::uint16_t port = 0;
-    /// Body for GET /healthz; default reports {"status":"ok"} only.
-    std::function<std::string()> healthz;
+    /// Body for GET /healthz; `status_out` arrives as 200 and may be set
+    /// to 503 when the system is degraded or a critical alert is firing.
+    /// The default consults the SLO monitor's alert table.
+    std::function<std::string(int& status_out)> healthz;
     /// Body for GET /trace; default serializes the global tracer with a
     /// zero anchor (single-process stitching still works).
     std::function<std::string()> trace_dump;

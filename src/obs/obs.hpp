@@ -120,8 +120,8 @@ inline DeadlineAccountant& accountant() {
   return DeadlineAccountant::instance();
 }
 
-/// Zeroes every instrument, the tracer ring and the accountant (topic
-/// table is kept).  For scoping a measurement run.
+/// Zeroes every instrument, the tracer ring, the accountant and the SLO
+/// monitor (topic tables are kept).  For scoping a measurement run.
 void reset_all();
 
 // ---------------------------------------------------------------------------

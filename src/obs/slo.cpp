@@ -1,0 +1,763 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/obs.hpp"
+
+namespace frame::obs {
+
+const char* to_string(Severity severity) {
+  return severity == Severity::kCritical ? "critical" : "warning";
+}
+
+const char* to_string(SloMetric metric) {
+  switch (metric) {
+    case SloMetric::kDispatchBurnRate:
+      return "dispatch_burn_rate";
+    case SloMetric::kReplicationBurnRate:
+      return "replication_burn_rate";
+    case SloMetric::kE2eBurnRate:
+      return "e2e_burn_rate";
+    case SloMetric::kLossStreakProximity:
+      return "loss_streak_proximity";
+    case SloMetric::kDispatchHeadroomMin:
+      return "dispatch_headroom_min_ns";
+    case SloMetric::kReplicationHeadroomMin:
+      return "replication_headroom_min_ns";
+    case SloMetric::kDegradedMode:
+      return "degraded_mode";
+  }
+  return "unknown";
+}
+
+bool fires_when_above(SloMetric metric) {
+  switch (metric) {
+    case SloMetric::kDispatchHeadroomMin:
+    case SloMetric::kReplicationHeadroomMin:
+      return false;
+    default:
+      return true;
+  }
+}
+
+SloMonitor& SloMonitor::instance() {
+  static SloMonitor monitor;
+  return monitor;
+}
+
+#ifndef FRAME_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// WindowedCounter / WindowedMin: a fixed ring of time buckets.  `last_` is
+// the highest absolute bucket index seen; advancing zeroes every bucket the
+// clock skipped over (bounded by the ring size).  Events older than the
+// current bucket land in their own (still-live) bucket, so modest reorder
+// between feeding threads does not lose counts.
+// ---------------------------------------------------------------------------
+
+void SloMonitor::WindowedCounter::advance(std::int64_t bucket_index) {
+  if (bucket_index <= last_) return;
+  const std::int64_t steps =
+      std::min<std::int64_t>(bucket_index - last_, kBuckets);
+  for (std::int64_t i = 1; i <= steps; ++i) {
+    buckets_[static_cast<std::size_t>((last_ + i) % kBuckets)] = 0;
+  }
+  last_ = bucket_index;
+}
+
+void SloMonitor::WindowedCounter::add(std::int64_t bucket_index,
+                                      std::uint64_t n) {
+  if (last_ < 0) last_ = bucket_index;
+  advance(bucket_index);
+  // A stale event (older than the ring) is counted in the oldest live
+  // bucket rather than dropped.
+  const std::int64_t oldest = last_ - static_cast<std::int64_t>(kBuckets) + 1;
+  const std::int64_t idx = std::max(bucket_index, oldest);
+  buckets_[static_cast<std::size_t>(idx % kBuckets)] += n;
+}
+
+std::uint64_t SloMonitor::WindowedCounter::sum(std::int64_t now_bucket,
+                                               std::size_t buckets_back) const {
+  if (last_ < 0) return 0;
+  std::uint64_t total = 0;
+  const std::size_t span = std::min(buckets_back, kBuckets);
+  for (std::size_t i = 0; i < span; ++i) {
+    const std::int64_t idx = now_bucket - static_cast<std::int64_t>(i);
+    if (idx < 0 || idx > last_) continue;
+    if (idx <= last_ - static_cast<std::int64_t>(kBuckets)) break;
+    total += buckets_[static_cast<std::size_t>(idx % kBuckets)];
+  }
+  return total;
+}
+
+void SloMonitor::WindowedCounter::reset() {
+  buckets_.fill(0);
+  last_ = -1;
+}
+
+void SloMonitor::WindowedMin::advance(std::int64_t bucket_index) {
+  if (bucket_index <= last_) return;
+  const std::int64_t steps =
+      std::min<std::int64_t>(bucket_index - last_,
+                             static_cast<std::int64_t>(buckets_.size()));
+  for (std::int64_t i = 1; i <= steps; ++i) {
+    buckets_[static_cast<std::size_t>((last_ + i) % buckets_.size())] =
+        kDurationInfinite;
+  }
+  last_ = bucket_index;
+}
+
+void SloMonitor::WindowedMin::add(std::int64_t bucket_index, Duration value) {
+  if (last_ < 0) {
+    buckets_.fill(kDurationInfinite);
+    last_ = bucket_index;
+  }
+  advance(bucket_index);
+  const std::int64_t oldest =
+      last_ - static_cast<std::int64_t>(buckets_.size()) + 1;
+  const std::int64_t idx = std::max(bucket_index, oldest);
+  Duration& slot = buckets_[static_cast<std::size_t>(idx % buckets_.size())];
+  slot = std::min(slot, value);
+}
+
+Duration SloMonitor::WindowedMin::min(std::int64_t now_bucket,
+                                      std::size_t buckets_back) const {
+  if (last_ < 0) return kDurationInfinite;
+  Duration lowest = kDurationInfinite;
+  const std::size_t span = std::min(buckets_back, buckets_.size());
+  for (std::size_t i = 0; i < span; ++i) {
+    const std::int64_t idx = now_bucket - static_cast<std::int64_t>(i);
+    if (idx < 0 || idx > last_) continue;
+    if (idx <= last_ - static_cast<std::int64_t>(buckets_.size())) break;
+    lowest = std::min(
+        lowest, buckets_[static_cast<std::size_t>(idx % buckets_.size())]);
+  }
+  return lowest;
+}
+
+void SloMonitor::WindowedMin::reset() {
+  buckets_.fill(kDurationInfinite);
+  last_ = -1;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration / topology
+// ---------------------------------------------------------------------------
+
+void SloMonitor::configure(const std::vector<TopicSpec>& specs) {
+  configure_lock_.lock();
+  for (const auto& spec : specs) {
+    while (slots_.size() <= spec.id) slots_.emplace_back();
+    slots_[spec.id].loss_tolerance = spec.loss_tolerance;
+    slots_[spec.id].deadline = spec.deadline;
+  }
+  count_.store(slots_.size(), std::memory_order_release);
+  configure_lock_.unlock();
+}
+
+void SloMonitor::set_config(const Config& config) {
+  std::lock_guard<std::mutex> guard(config_mutex_);
+  config_ = config;
+  if (config_.short_window <= 0) config_.short_window = seconds(1);
+  // The ring has kBuckets buckets of short_window/8 each, so the longest
+  // representable window is 8x short; clamp the long window accordingly
+  // (leaving headroom against partial edge buckets).
+  const Duration max_long = config_.short_window *
+      static_cast<Duration>(WindowedCounter::kBuckets / 8 - 1);
+  config_.long_window = std::clamp(config_.long_window,
+                                   config_.short_window, max_long);
+  if (config_.error_budget <= 0) config_.error_budget = 0.001;
+}
+
+SloMonitor::Config SloMonitor::config() const {
+  std::lock_guard<std::mutex> guard(config_mutex_);
+  return config_;
+}
+
+void SloMonitor::set_rules(std::vector<AlertRule> rules) {
+  std::lock_guard<std::mutex> guard(config_mutex_);
+  rules_ = std::move(rules);
+  rules_installed_ = true;
+  firing_since_.assign(rules_.size(), 0);
+  critical_firing_.store(false, std::memory_order_relaxed);
+}
+
+std::vector<AlertRule> SloMonitor::default_rules() {
+  // Burn-rate pairs follow the SRE multiwindow recipe: a fast-burn page
+  // (14.4x consumes a 30-day budget in ~2 days; here it simply means "the
+  // tail is collapsing now") on the short window, and a slow-burn ticket
+  // (1x = budget being consumed exactly at the allowed rate) on the long
+  // window.  Thresholds fire strictly-above, so a system exactly on budget
+  // does not alert.
+  return {
+      {"lemma2-burn-fast", SloMetric::kDispatchBurnRate, 14.4, 0,
+       Severity::kCritical, kAllTopics},
+      {"lemma2-burn-slow", SloMetric::kDispatchBurnRate, 1.0,
+       kDurationInfinite, Severity::kWarning, kAllTopics},
+      {"lemma1-burn-fast", SloMetric::kReplicationBurnRate, 14.4, 0,
+       Severity::kCritical, kAllTopics},
+      {"lemma1-burn-slow", SloMetric::kReplicationBurnRate, 1.0,
+       kDurationInfinite, Severity::kWarning, kAllTopics},
+      {"e2e-burn-fast", SloMetric::kE2eBurnRate, 14.4, 0,
+       Severity::kCritical, kAllTopics},
+      {"li-streak-proximity", SloMetric::kLossStreakProximity, 0.75, 0,
+       Severity::kWarning, kAllTopics},
+      {"li-streak-breach", SloMetric::kLossStreakProximity, 1.0, 0,
+       Severity::kCritical, kAllTopics},
+      {"degraded-mode", SloMetric::kDegradedMode, 0.5, 0,
+       Severity::kWarning, kAllTopics},
+      {"dispatch-headroom-exhausted", SloMetric::kDispatchHeadroomMin, 0.0, 0,
+       Severity::kWarning, kAllTopics},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Feeds
+// ---------------------------------------------------------------------------
+
+SloMonitor::TopicSlot* SloMonitor::slot(TopicId topic) {
+  if (topic >= count_.load(std::memory_order_acquire)) return nullptr;
+  return &slots_[topic];
+}
+
+const SloMonitor::TopicSlot* SloMonitor::slot(TopicId topic) const {
+  if (topic >= count_.load(std::memory_order_acquire)) return nullptr;
+  return &slots_[topic];
+}
+
+SloMonitor::ShardSlot& SloMonitor::shard_slot() {
+  const std::size_t shard = thread_shard();
+  const std::size_t idx =
+      shard == kNoShard || shard >= kMaxShardSlots ? 0 : shard;
+  std::size_t seen = max_shard_seen_.load(std::memory_order_relaxed);
+  while (idx > seen && !max_shard_seen_.compare_exchange_weak(
+                           seen, idx, std::memory_order_relaxed)) {
+  }
+  return shard_slots_[idx];
+}
+
+Duration SloMonitor::bucket_width() const {
+  // config_.short_window is only written under config_mutex_, but the feed
+  // paths read it lock-free: a torn read is impossible (int64 store) and a
+  // stale width merely re-bins a handful of events during reconfiguration.
+  const Duration w = config_.short_window / 8;
+  return w > 0 ? w : milliseconds(125);
+}
+
+std::int64_t SloMonitor::bucket_of(TimePoint now) const {
+  const Duration width = bucket_width();
+  if (now < 0) return 0;
+  return now / width;
+}
+
+std::size_t SloMonitor::buckets_for(Duration window) const {
+  const Duration width = bucket_width();
+  const Duration w = window <= 0 ? config_.short_window
+                     : window == kDurationInfinite ? config_.long_window
+                                                   : window;
+  const std::int64_t n = (w + width - 1) / width;
+  return static_cast<std::size_t>(
+      std::clamp<std::int64_t>(n, 1, WindowedCounter::kBuckets));
+}
+
+void SloMonitor::note_now(TimePoint now) {
+  TimePoint cur = latest_now_.load(std::memory_order_relaxed);
+  while (now > cur && !latest_now_.compare_exchange_weak(
+                          cur, now, std::memory_order_relaxed)) {
+  }
+}
+
+void SloMonitor::on_dispatch_executed(TopicId topic, Duration laxity,
+                                      TimePoint now) {
+  note_now(now);
+  const std::int64_t bucket = bucket_of(now);
+  const bool miss = laxity < 0;
+  if (TopicSlot* s = slot(topic)) {
+    s->lock.lock();
+    s->dispatches.add(bucket, 1);
+    if (miss) s->dispatch_misses.add(bucket, 1);
+    s->dispatch_headroom_min.add(bucket, laxity);
+    s->lock.unlock();
+    // Clamp negative laxity to the recorder's lowest bin; the signed
+    // minimum above keeps the true worst value.
+    s->dispatch_headroom.record(laxity > 0 ? static_cast<double>(laxity) : 0);
+  }
+  ShardSlot& shard = shard_slot();
+  shard.lock.lock();
+  shard.dispatches.add(bucket, 1);
+  if (miss) shard.dispatch_misses.add(bucket, 1);
+  shard.dispatch_headroom_min.add(bucket, laxity);
+  shard.lock.unlock();
+}
+
+void SloMonitor::on_replication_executed(TopicId topic, Duration laxity,
+                                         TimePoint now) {
+  note_now(now);
+  const std::int64_t bucket = bucket_of(now);
+  const bool miss = laxity < 0;
+  if (TopicSlot* s = slot(topic)) {
+    s->lock.lock();
+    s->replications.add(bucket, 1);
+    if (miss) s->replication_misses.add(bucket, 1);
+    s->replication_headroom_min.add(bucket, laxity);
+    s->lock.unlock();
+    s->replication_headroom.record(laxity > 0 ? static_cast<double>(laxity)
+                                              : 0);
+  }
+  ShardSlot& shard = shard_slot();
+  shard.lock.lock();
+  shard.replications.add(bucket, 1);
+  if (miss) shard.replication_misses.add(bucket, 1);
+  shard.lock.unlock();
+}
+
+void SloMonitor::on_delivery(TopicId topic, Duration e2e, bool e2e_miss,
+                             std::uint64_t worst_streak, TimePoint now) {
+  (void)e2e;
+  note_now(now);
+  const std::int64_t bucket = bucket_of(now);
+  if (TopicSlot* s = slot(topic)) {
+    s->lock.lock();
+    s->deliveries.add(bucket, 1);
+    if (e2e_miss) s->e2e_misses.add(bucket, 1);
+    s->worst_streak = std::max(s->worst_streak, worst_streak);
+    s->lock.unlock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double burn(std::uint64_t events, std::uint64_t misses, double budget) {
+  if (events == 0) return 0;
+  return (static_cast<double>(misses) / static_cast<double>(events)) / budget;
+}
+
+}  // namespace
+
+TopicSloSnapshot SloMonitor::snapshot(TopicId topic, TimePoint now) {
+  TopicSloSnapshot snap;
+  TopicSlot* s = slot(topic);
+  if (s == nullptr) return snap;
+  const Config cfg = config();
+  const std::int64_t bucket = bucket_of(now);
+  const std::size_t short_back = buckets_for(cfg.short_window);
+  const std::size_t long_back = buckets_for(cfg.long_window);
+
+  snap.topic = topic;
+  snap.loss_tolerance = s->loss_tolerance;
+  snap.deadline = s->deadline;
+
+  s->lock.lock();
+  snap.dispatches_short = s->dispatches.sum(bucket, short_back);
+  snap.dispatch_misses_short = s->dispatch_misses.sum(bucket, short_back);
+  snap.dispatches_long = s->dispatches.sum(bucket, long_back);
+  snap.dispatch_misses_long = s->dispatch_misses.sum(bucket, long_back);
+  snap.replications_short = s->replications.sum(bucket, short_back);
+  snap.replication_misses_short = s->replication_misses.sum(bucket, short_back);
+  snap.replications_long = s->replications.sum(bucket, long_back);
+  snap.replication_misses_long = s->replication_misses.sum(bucket, long_back);
+  snap.deliveries_short = s->deliveries.sum(bucket, short_back);
+  snap.e2e_misses_short = s->e2e_misses.sum(bucket, short_back);
+  snap.deliveries_long = s->deliveries.sum(bucket, long_back);
+  snap.e2e_misses_long = s->e2e_misses.sum(bucket, long_back);
+  snap.worst_streak = s->worst_streak;
+  snap.dispatch_headroom_min = s->dispatch_headroom_min.min(bucket, short_back);
+  snap.replication_headroom_min =
+      s->replication_headroom_min.min(bucket, short_back);
+  s->lock.unlock();
+
+  snap.dispatch_burn_short =
+      burn(snap.dispatches_short, snap.dispatch_misses_short, cfg.error_budget);
+  snap.dispatch_burn_long =
+      burn(snap.dispatches_long, snap.dispatch_misses_long, cfg.error_budget);
+  snap.replication_burn_short = burn(snap.replications_short,
+                                     snap.replication_misses_short,
+                                     cfg.error_budget);
+  snap.replication_burn_long = burn(snap.replications_long,
+                                    snap.replication_misses_long,
+                                    cfg.error_budget);
+  snap.e2e_burn_short =
+      burn(snap.deliveries_short, snap.e2e_misses_short, cfg.error_budget);
+  snap.e2e_burn_long =
+      burn(snap.deliveries_long, snap.e2e_misses_long, cfg.error_budget);
+
+  if (snap.loss_tolerance != kLossInfinite) {
+    const double li = static_cast<double>(std::max<std::uint32_t>(
+        snap.loss_tolerance, 1));
+    snap.streak_proximity = static_cast<double>(snap.worst_streak) / li;
+  }
+
+  snap.dispatch_headroom = s->dispatch_headroom.snapshot();
+  snap.replication_headroom = s->replication_headroom.snapshot();
+  return snap;
+}
+
+std::vector<TopicSloSnapshot> SloMonitor::snapshot_all(TimePoint now) {
+  std::vector<TopicSloSnapshot> out;
+  const std::size_t n = topic_count();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(snapshot(static_cast<TopicId>(i), now));
+  }
+  return out;
+}
+
+std::vector<ShardSloSnapshot> SloMonitor::snapshot_shards(TimePoint now) {
+  std::vector<ShardSloSnapshot> out;
+  const Config cfg = config();
+  const std::int64_t bucket = bucket_of(now);
+  const std::size_t short_back = buckets_for(cfg.short_window);
+  const std::size_t upto = max_shard_seen_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i <= upto; ++i) {
+    ShardSlot& s = shard_slots_[i];
+    ShardSloSnapshot snap;
+    snap.shard = i;
+    s.lock.lock();
+    snap.dispatches_short = s.dispatches.sum(bucket, short_back);
+    snap.dispatch_misses_short = s.dispatch_misses.sum(bucket, short_back);
+    snap.replications_short = s.replications.sum(bucket, short_back);
+    snap.replication_misses_short =
+        s.replication_misses.sum(bucket, short_back);
+    snap.dispatch_headroom_min = s.dispatch_headroom_min.min(bucket,
+                                                            short_back);
+    s.lock.unlock();
+    snap.dispatch_burn_short = burn(snap.dispatches_short,
+                                    snap.dispatch_misses_short,
+                                    cfg.error_budget);
+    out.push_back(snap);
+  }
+  return out;
+}
+
+double SloMonitor::metric_value(const AlertRule& rule, TimePoint now) {
+  if (rule.metric == SloMetric::kDegradedMode) {
+    return static_cast<double>(
+        registry().gauge("frame_degraded_mode").value());
+  }
+  // Wildcard rules take the worst value across topics: max for
+  // fires-when-above metrics, min for headroom.
+  const bool above = fires_when_above(rule.metric);
+  double worst = above ? 0 : std::numeric_limits<double>::infinity();
+  bool any = false;
+  const std::size_t n = topic_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TopicId topic = static_cast<TopicId>(i);
+    if (rule.topic != kAllTopics && rule.topic != topic) continue;
+    const TopicSloSnapshot snap = snapshot(topic, now);
+    double v = 0;
+    bool applicable = true;
+    const bool long_window = rule.window == kDurationInfinite ||
+        (rule.window > 0 && rule.window > config().short_window);
+    switch (rule.metric) {
+      case SloMetric::kDispatchBurnRate:
+        v = long_window ? snap.dispatch_burn_long : snap.dispatch_burn_short;
+        break;
+      case SloMetric::kReplicationBurnRate:
+        v = long_window ? snap.replication_burn_long
+                        : snap.replication_burn_short;
+        break;
+      case SloMetric::kE2eBurnRate:
+        v = long_window ? snap.e2e_burn_long : snap.e2e_burn_short;
+        break;
+      case SloMetric::kLossStreakProximity:
+        v = snap.streak_proximity;
+        applicable = snap.loss_tolerance != kLossInfinite;
+        break;
+      case SloMetric::kDispatchHeadroomMin:
+        v = static_cast<double>(snap.dispatch_headroom_min);
+        applicable = snap.dispatch_headroom_min != kDurationInfinite;
+        break;
+      case SloMetric::kReplicationHeadroomMin:
+        v = static_cast<double>(snap.replication_headroom_min);
+        applicable = snap.replication_headroom_min != kDurationInfinite;
+        break;
+      case SloMetric::kDegradedMode:
+        break;
+    }
+    if (!applicable) continue;
+    any = true;
+    worst = above ? std::max(worst, v) : std::min(worst, v);
+  }
+  if (!any) {
+    // No applicable topic: a value that can never fire.
+    return above ? 0 : std::numeric_limits<double>::infinity();
+  }
+  return worst;
+}
+
+std::vector<AlertState> SloMonitor::evaluate(TimePoint now) {
+  std::vector<AlertState> out;
+  bool any_critical = false;
+  std::string first_critical_transition;
+  {
+    std::lock_guard<std::mutex> guard(config_mutex_);
+    if (!rules_installed_) {
+      rules_ = default_rules();
+      rules_installed_ = true;
+      firing_since_.assign(rules_.size(), 0);
+    }
+  }
+  // metric_value takes topic spinlocks and config_mutex_ (via config());
+  // compute all values before re-entering the firing-state section.
+  std::vector<double> values;
+  {
+    std::vector<AlertRule> rules_copy;
+    {
+      std::lock_guard<std::mutex> guard(config_mutex_);
+      rules_copy = rules_;
+    }
+    values.reserve(rules_copy.size());
+    for (const auto& rule : rules_copy) {
+      values.push_back(metric_value(rule, now));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> guard(config_mutex_);
+    out.reserve(rules_.size());
+    for (std::size_t i = 0; i < rules_.size() && i < values.size(); ++i) {
+      AlertState state;
+      state.rule = rules_[i];
+      state.value = values[i];
+      state.firing = fires_when_above(state.rule.metric)
+                         ? state.value > state.rule.threshold
+                         : state.value < state.rule.threshold;
+      if (state.firing) {
+        if (firing_since_[i] == 0) {
+          // 0 marks "not firing"; a transition at t=0 still needs a mark.
+          firing_since_[i] = now > 0 ? now : 1;
+          if (state.rule.severity == Severity::kCritical &&
+              first_critical_transition.empty()) {
+            first_critical_transition = state.rule.name;
+          }
+        }
+        if (state.rule.severity == Severity::kCritical) any_critical = true;
+        state.since = firing_since_[i];
+      } else {
+        firing_since_[i] = 0;
+      }
+      out.push_back(std::move(state));
+    }
+    critical_firing_.store(any_critical, std::memory_order_relaxed);
+  }
+  // Outside every SloMonitor lock: the recorder snapshots the registry and
+  // may call back into slo_json (which re-enters evaluate-free paths).
+  if (!first_critical_transition.empty()) {
+    flight_recorder().trigger(TriggerReason::kCriticalAlert,
+                              first_critical_transition.c_str(), now);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_duration_field(std::ostringstream& os, const char* key,
+                           Duration v) {
+  os << '"' << key << "\":";
+  if (v == kDurationInfinite) {
+    os << "null";
+  } else {
+    os << v;
+  }
+}
+
+void append_alerts(std::ostringstream& os,
+                   const std::vector<AlertState>& alerts) {
+  os << '[';
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    const AlertState& a = alerts[i];
+    if (i != 0) os << ',';
+    os << "{\"name\":\"" << json_escape(a.rule.name) << "\",\"metric\":\""
+       << to_string(a.rule.metric) << "\",\"severity\":\""
+       << to_string(a.rule.severity) << "\",\"threshold\":"
+       << a.rule.threshold << ",\"value\":" << a.value
+       << ",\"firing\":" << (a.firing ? "true" : "false")
+       << ",\"since_ns\":" << a.since;
+    if (a.rule.topic != kAllTopics) {
+      os << ",\"topic\":" << a.rule.topic;
+    }
+    os << '}';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string SloMonitor::alerts_json(TimePoint now) {
+  if (now == 0) now = latest_now();
+  const std::vector<AlertState> alerts = evaluate(now);
+  std::ostringstream os;
+  os << "{\"now_ns\":" << now << ",\"critical_firing\":"
+     << (critical_firing() ? "true" : "false") << ",\"alerts\":";
+  append_alerts(os, alerts);
+  os << '}';
+  return os.str();
+}
+
+std::string SloMonitor::slo_json(TimePoint now) {
+  if (now == 0) now = latest_now();
+  const Config cfg = config();
+  const std::vector<AlertState> alerts = evaluate(now);
+  std::ostringstream os;
+  os << "{\"now_ns\":" << now
+     << ",\"short_window_ns\":" << cfg.short_window
+     << ",\"long_window_ns\":" << cfg.long_window
+     << ",\"error_budget\":" << cfg.error_budget
+     << ",\"critical_firing\":" << (critical_firing() ? "true" : "false")
+     << ",\"topics\":[";
+  const std::vector<TopicSloSnapshot> topics = snapshot_all(now);
+  for (std::size_t i = 0; i < topics.size(); ++i) {
+    const TopicSloSnapshot& t = topics[i];
+    if (i != 0) os << ',';
+    os << "{\"topic\":" << t.topic << ",\"li\":";
+    if (t.loss_tolerance == kLossInfinite) {
+      os << "null";
+    } else {
+      os << t.loss_tolerance;
+    }
+    os << ",\"di_ms\":" << to_millis(t.deadline)
+       << ",\"dispatches_short\":" << t.dispatches_short
+       << ",\"dispatch_misses_short\":" << t.dispatch_misses_short
+       << ",\"dispatch_burn_short\":" << t.dispatch_burn_short
+       << ",\"dispatch_burn_long\":" << t.dispatch_burn_long
+       << ",\"replications_short\":" << t.replications_short
+       << ",\"replication_misses_short\":" << t.replication_misses_short
+       << ",\"replication_burn_short\":" << t.replication_burn_short
+       << ",\"replication_burn_long\":" << t.replication_burn_long
+       << ",\"e2e_burn_short\":" << t.e2e_burn_short
+       << ",\"e2e_burn_long\":" << t.e2e_burn_long
+       << ",\"worst_streak\":" << t.worst_streak
+       << ",\"streak_proximity\":" << t.streak_proximity << ',';
+    append_duration_field(os, "dispatch_headroom_min_ns",
+                          t.dispatch_headroom_min);
+    os << ',';
+    append_duration_field(os, "replication_headroom_min_ns",
+                          t.replication_headroom_min);
+    os << ",\"dispatch_headroom_p50_ns\":" << t.dispatch_headroom.p50()
+       << ",\"dispatch_headroom_count\":" << t.dispatch_headroom.count()
+       << '}';
+  }
+  os << "],\"shards\":[";
+  const std::vector<ShardSloSnapshot> shards = snapshot_shards(now);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardSloSnapshot& s = shards[i];
+    if (i != 0) os << ',';
+    os << "{\"shard\":" << s.shard
+       << ",\"dispatches_short\":" << s.dispatches_short
+       << ",\"dispatch_misses_short\":" << s.dispatch_misses_short
+       << ",\"dispatch_burn_short\":" << s.dispatch_burn_short << ',';
+    append_duration_field(os, "dispatch_headroom_min_ns",
+                          s.dispatch_headroom_min);
+    os << '}';
+  }
+  os << "],\"alerts\":";
+  append_alerts(os, alerts);
+  os << '}';
+  return os.str();
+}
+
+void SloMonitor::reset() {
+  configure_lock_.lock();
+  for (auto& s : slots_) {
+    s.lock.lock();
+    s.dispatches.reset();
+    s.dispatch_misses.reset();
+    s.replications.reset();
+    s.replication_misses.reset();
+    s.deliveries.reset();
+    s.e2e_misses.reset();
+    s.dispatch_headroom_min.reset();
+    s.replication_headroom_min.reset();
+    s.worst_streak = 0;
+    s.lock.unlock();
+    s.dispatch_headroom.reset();
+    s.replication_headroom.reset();
+  }
+  for (auto& s : shard_slots_) {
+    s.lock.lock();
+    s.dispatches.reset();
+    s.dispatch_misses.reset();
+    s.replications.reset();
+    s.replication_misses.reset();
+    s.dispatch_headroom_min.reset();
+    s.lock.unlock();
+  }
+  latest_now_.store(0, std::memory_order_relaxed);
+  configure_lock_.unlock();
+  std::lock_guard<std::mutex> guard(config_mutex_);
+  firing_since_.assign(rules_.size(), 0);
+  critical_firing_.store(false, std::memory_order_relaxed);
+}
+
+#else  // FRAME_OBS_DISABLED
+
+// With observability compiled out the monitor is inert: hooks never run,
+// and the endpoint surfaces report an empty document.
+
+void SloMonitor::configure(const std::vector<TopicSpec>&) {}
+void SloMonitor::set_config(const Config&) {}
+SloMonitor::Config SloMonitor::config() const { return Config{}; }
+void SloMonitor::set_rules(std::vector<AlertRule>) {}
+std::vector<AlertRule> SloMonitor::default_rules() { return {}; }
+void SloMonitor::on_dispatch_executed(TopicId, Duration, TimePoint) {}
+void SloMonitor::on_replication_executed(TopicId, Duration, TimePoint) {}
+void SloMonitor::on_delivery(TopicId, Duration, bool, std::uint64_t,
+                             TimePoint) {}
+std::vector<AlertState> SloMonitor::evaluate(TimePoint) { return {}; }
+TopicSloSnapshot SloMonitor::snapshot(TopicId, TimePoint) { return {}; }
+std::vector<TopicSloSnapshot> SloMonitor::snapshot_all(TimePoint) {
+  return {};
+}
+std::vector<ShardSloSnapshot> SloMonitor::snapshot_shards(TimePoint) {
+  return {};
+}
+std::string SloMonitor::alerts_json(TimePoint) {
+  return "{\"alerts\":[]}";
+}
+std::string SloMonitor::slo_json(TimePoint) {
+  return "{\"topics\":[],\"shards\":[],\"alerts\":[]}";
+}
+void SloMonitor::reset() {}
+
+SloMonitor::TopicSlot* SloMonitor::slot(TopicId) { return nullptr; }
+const SloMonitor::TopicSlot* SloMonitor::slot(TopicId) const {
+  return nullptr;
+}
+SloMonitor::ShardSlot& SloMonitor::shard_slot() { return shard_slots_[0]; }
+Duration SloMonitor::bucket_width() const { return milliseconds(125); }
+std::int64_t SloMonitor::bucket_of(TimePoint) const { return 0; }
+std::size_t SloMonitor::buckets_for(Duration) const { return 1; }
+double SloMonitor::metric_value(const AlertRule&, TimePoint) { return 0; }
+void SloMonitor::note_now(TimePoint) {}
+
+// WindowedCounter/WindowedMin still need definitions (odr-used via the
+// class layout) — keep them trivial.
+void SloMonitor::WindowedCounter::advance(std::int64_t) {}
+void SloMonitor::WindowedCounter::add(std::int64_t, std::uint64_t) {}
+std::uint64_t SloMonitor::WindowedCounter::sum(std::int64_t,
+                                               std::size_t) const {
+  return 0;
+}
+void SloMonitor::WindowedCounter::reset() {}
+void SloMonitor::WindowedMin::advance(std::int64_t) {}
+void SloMonitor::WindowedMin::add(std::int64_t, Duration) {}
+Duration SloMonitor::WindowedMin::min(std::int64_t, std::size_t) const {
+  return kDurationInfinite;
+}
+void SloMonitor::WindowedMin::reset() {}
+
+#endif  // FRAME_OBS_DISABLED
+
+}  // namespace frame::obs

@@ -1,0 +1,271 @@
+// Online SLO monitor: the system watching its own Lemma 1/2 bounds while
+// running (DESIGN.md §13).
+//
+// Per topic (and folded per Primary shard) it maintains rolling-window
+// views of the quantities the paper proves bounded:
+//   * deadline headroom — the laxity Dd_i − Rd_i (dispatch, Lemma 2) and
+//     Dr_i − Rr_i (replication, Lemma 1) reported by the engines at job
+//     completion (core/timing.hpp laxity()), log-binned like every other
+//     latency plus a rolling-window minimum;
+//   * Li-streak proximity — the worst observed consecutive-loss streak as
+//     a fraction of the topic's tolerance Li (1.0 = budget exhausted,
+//     > 1.0 = breach);
+//   * error-budget burn rate — the miss fraction (Lemma 1/2 misses, e2e
+//     > Di) over a short and a long window, divided by the configured
+//     error budget, the "observe the tail" discipline of SRE burn-rate
+//     alerting: burn 1.0 consumes exactly the budget, 14.4 consumes a
+//     day's budget in 100 minutes.
+//
+// Feeds come exclusively from the existing obs hook slow paths, so the
+// disabled cost stays the hooks' one relaxed load + branch; every update
+// here is a spinlock-guarded handful of arithmetic (no allocation on the
+// hot path after configure()).
+//
+// Alerting is declarative: an AlertRule table (threshold + window +
+// severity) evaluated on demand — by GET /alerts, /slo.json and /healthz,
+// by frame_stats, and by tests.  Windows advance on the driving-clock
+// timestamps the hooks deliver, so evaluation is deterministic under
+// simulated clocks; a quiescent system holds its last window state.
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "core/topic.hpp"
+#include "obs/metrics.hpp"
+
+namespace frame::obs {
+
+/// AlertRule::topic wildcard: evaluate across every configured topic.
+inline constexpr TopicId kAllTopics = kInvalidTopic;
+
+enum class Severity : std::uint8_t { kWarning = 0, kCritical = 1 };
+const char* to_string(Severity severity);
+
+/// What an AlertRule measures.  Comparison direction is part of the metric
+/// (see fires_when_above): burn rates and streak proximity alarm high,
+/// headroom alarms low.
+enum class SloMetric : std::uint8_t {
+  kDispatchBurnRate = 0,     ///< Lemma 2 miss fraction / error budget
+  kReplicationBurnRate = 1,  ///< Lemma 1 miss fraction / error budget
+  kE2eBurnRate = 2,          ///< (e2e > Di) fraction / error budget
+  kLossStreakProximity = 3,  ///< worst streak / Li  (fires strictly above)
+  kDispatchHeadroomMin = 4,  ///< rolling-window min laxity, ns (alarms low)
+  kReplicationHeadroomMin = 5,  ///< same for Lemma 1 laxity
+  kDegradedMode = 6,         ///< frame_degraded_mode gauge (1 = degraded)
+};
+const char* to_string(SloMetric metric);
+bool fires_when_above(SloMetric metric);
+
+/// One declarative alert: fires when the metric crosses `threshold` over
+/// `window` (0 = the monitor's short window; headroom/streak/degraded
+/// metrics that have no natural window ignore it).
+struct AlertRule {
+  std::string name;
+  SloMetric metric = SloMetric::kDispatchBurnRate;
+  double threshold = 1.0;
+  Duration window = 0;
+  Severity severity = Severity::kWarning;
+  TopicId topic = kAllTopics;
+};
+
+/// Evaluation result of one rule at one instant.
+struct AlertState {
+  AlertRule rule;
+  double value = 0;
+  bool firing = false;
+  TimePoint since = 0;  ///< driving-clock start of the current firing run
+};
+
+/// Value snapshot of one topic's SLO account at a given `now`.
+struct TopicSloSnapshot {
+  TopicId topic = kInvalidTopic;
+  std::uint32_t loss_tolerance = 0;
+  Duration deadline = 0;
+
+  // Windowed event/miss counts (short, long).
+  std::uint64_t dispatches_short = 0, dispatch_misses_short = 0;
+  std::uint64_t dispatches_long = 0, dispatch_misses_long = 0;
+  std::uint64_t replications_short = 0, replication_misses_short = 0;
+  std::uint64_t replications_long = 0, replication_misses_long = 0;
+  std::uint64_t deliveries_short = 0, e2e_misses_short = 0;
+  std::uint64_t deliveries_long = 0, e2e_misses_long = 0;
+
+  double dispatch_burn_short = 0, dispatch_burn_long = 0;
+  double replication_burn_short = 0, replication_burn_long = 0;
+  double e2e_burn_short = 0, e2e_burn_long = 0;
+
+  std::uint64_t worst_streak = 0;
+  double streak_proximity = 0;  ///< worst_streak / max(Li, 1); 0 if best effort
+
+  /// Rolling-window minimum laxity (signed ns; kDurationInfinite = no
+  /// completions in the window).
+  Duration dispatch_headroom_min = kDurationInfinite;
+  Duration replication_headroom_min = kDurationInfinite;
+
+  /// Cumulative log-binned headroom distributions (negative laxity clamps
+  /// into the lowest bin; the signed minimum is tracked above).
+  LatencyRecorder::Snapshot dispatch_headroom;
+  LatencyRecorder::Snapshot replication_headroom;
+};
+
+/// Per-shard fold of the same windowed accounting (hooks attribute via
+/// obs::thread_shard(), exactly like the PerShard registry instruments).
+struct ShardSloSnapshot {
+  std::size_t shard = 0;  ///< kNoShard entries fold into shard 0's slot
+  std::uint64_t dispatches_short = 0, dispatch_misses_short = 0;
+  std::uint64_t replications_short = 0, replication_misses_short = 0;
+  double dispatch_burn_short = 0;
+  Duration dispatch_headroom_min = kDurationInfinite;
+};
+
+class SloMonitor {
+ public:
+  struct Config {
+    Duration short_window = seconds(1);
+    Duration long_window = seconds(8);  ///< clamped to 16x short_window
+    double error_budget = 0.001;        ///< allowed miss fraction (99.9% SLO)
+  };
+
+  static SloMonitor& instance();
+
+  /// Installs the topic table (dense ids); growing is supported, calling
+  /// again is count-preserving.  Mirrors DeadlineAccountant::configure and
+  /// is called from the same place (PrimaryEngine construction).
+  void configure(const std::vector<TopicSpec>& specs);
+  std::size_t topic_count() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  void set_config(const Config& config);
+  Config config() const;
+
+  /// Replaces the alert table (clears firing state).  The default table is
+  /// installed lazily on first evaluation.
+  void set_rules(std::vector<AlertRule> rules);
+  static std::vector<AlertRule> default_rules();
+
+  // ---- hook feeds (slow paths only; see obs/hooks.cpp) ------------------
+  void on_dispatch_executed(TopicId topic, Duration laxity, TimePoint now);
+  void on_replication_executed(TopicId topic, Duration laxity, TimePoint now);
+  void on_delivery(TopicId topic, Duration e2e, bool e2e_miss,
+                   std::uint64_t worst_streak, TimePoint now);
+
+  /// Latest driving-clock timestamp any feed reported; evaluation anchors
+  /// here so scrapes need no clock of their own.
+  TimePoint latest_now() const {
+    return latest_now_.load(std::memory_order_relaxed);
+  }
+
+  // ---- evaluation (cold path) -------------------------------------------
+  /// Evaluates every rule at `now`, updating firing/since state.  A
+  /// warning->firing transition of a critical rule arms the flight
+  /// recorder (obs/flight_recorder.hpp) outside the monitor's lock.
+  std::vector<AlertState> evaluate(TimePoint now);
+
+  /// True when the most recent evaluate() left a critical rule firing.
+  bool critical_firing() const {
+    return critical_firing_.load(std::memory_order_relaxed);
+  }
+
+  TopicSloSnapshot snapshot(TopicId topic, TimePoint now);
+  std::vector<TopicSloSnapshot> snapshot_all(TimePoint now);
+  std::vector<ShardSloSnapshot> snapshot_shards(TimePoint now);
+
+  /// Full SLO document (topics + shards + alert states) as JSON.
+  std::string slo_json(TimePoint now);
+  /// Just the evaluated alert table as JSON (the GET /alerts body).
+  std::string alerts_json(TimePoint now);
+
+  /// Zeroes every account and firing state; keeps topics, rules, config.
+  void reset();
+
+ private:
+  /// Rolling event counter: a ring of time buckets advanced by event
+  /// timestamps.  All methods require the owning slot's lock.
+  class WindowedCounter {
+   public:
+    static constexpr std::size_t kBuckets = 64;
+    void add(std::int64_t bucket_index, std::uint64_t n);
+    std::uint64_t sum(std::int64_t now_bucket, std::size_t buckets_back) const;
+    void reset();
+
+   private:
+    void advance(std::int64_t bucket_index);
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::int64_t last_ = -1;
+    friend class SloMonitor;
+  };
+
+  /// Rolling minimum over the same bucket ring (window min headroom).
+  class WindowedMin {
+   public:
+    void add(std::int64_t bucket_index, Duration value);
+    Duration min(std::int64_t now_bucket, std::size_t buckets_back) const;
+    void reset();
+
+   private:
+    void advance(std::int64_t bucket_index);
+    std::array<Duration, WindowedCounter::kBuckets> buckets_;
+    std::int64_t last_ = -1;
+  };
+
+  struct TopicSlot {
+    std::uint32_t loss_tolerance = 0;
+    Duration deadline = 0;
+    mutable SpinLock lock;
+    WindowedCounter dispatches, dispatch_misses;
+    WindowedCounter replications, replication_misses;
+    WindowedCounter deliveries, e2e_misses;
+    WindowedMin dispatch_headroom_min, replication_headroom_min;
+    std::uint64_t worst_streak = 0;
+    LatencyRecorder dispatch_headroom;     // own internal lock
+    LatencyRecorder replication_headroom;  // own internal lock
+  };
+
+  struct ShardSlot {
+    mutable SpinLock lock;
+    WindowedCounter dispatches, dispatch_misses;
+    WindowedCounter replications, replication_misses;
+    WindowedMin dispatch_headroom_min;
+  };
+
+  // Mirrors hooks.cpp kMaxShardSeries (core/topic_sharding.hpp kMaxShards).
+  static constexpr std::size_t kMaxShardSlots = 32;
+
+  TopicSlot* slot(TopicId topic);
+  const TopicSlot* slot(TopicId topic) const;
+  ShardSlot& shard_slot();
+
+  Duration bucket_width() const;  ///< short_window / 8
+  std::int64_t bucket_of(TimePoint now) const;
+  std::size_t buckets_for(Duration window) const;
+
+  double metric_value(const AlertRule& rule, TimePoint now);
+  void note_now(TimePoint now);
+
+  mutable SpinLock configure_lock_;
+  std::deque<TopicSlot> slots_;  ///< deque: grow without moving slots
+  std::atomic<std::size_t> count_{0};
+  std::array<ShardSlot, kMaxShardSlots> shard_slots_;
+  std::atomic<std::size_t> max_shard_seen_{0};
+  std::atomic<TimePoint> latest_now_{0};
+
+  mutable std::mutex config_mutex_;  ///< config + rules + firing state
+  Config config_;
+  std::vector<AlertRule> rules_;
+  bool rules_installed_ = false;
+  std::vector<TimePoint> firing_since_;  ///< parallel to rules_; 0 = not firing
+  std::atomic<bool> critical_firing_{false};
+};
+
+inline SloMonitor& slo() { return SloMonitor::instance(); }
+
+}  // namespace frame::obs

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -251,6 +252,68 @@ StitchReport stitch(const std::vector<TraceDump>& dumps) {
   if (report.crash_wall >= 0 && report.redirect_wall >= report.crash_wall) {
     report.measured_x = report.redirect_wall - report.crash_wall;
   }
+
+  // Degenerate-input diagnostics: empty and partial dumps are legal (a
+  // process may have produced no traffic, or predates trace context), but
+  // the resulting hollow report should say why instead of silently showing
+  // zero hops.
+  if (dumps.empty()) {
+    report.diagnostics.push_back("no dumps in input (nothing to stitch)");
+  }
+  std::size_t empty_dumps = 0;
+  for (const auto& dump : dumps) {
+    if (dump.spans.empty()) ++empty_dumps;
+  }
+  if (empty_dumps > 0) {
+    report.diagnostics.push_back(
+        std::to_string(empty_dumps) + " of " + std::to_string(dumps.size()) +
+        " dump(s) contain zero spans");
+  }
+  if (!report.events.empty() && report.trace_count == 0) {
+    report.diagnostics.push_back(
+        "no anchored spans: every span has trace id 0, so per-hop "
+        "latencies and e2e cannot be correlated (writer predates wire "
+        "trace context?)");
+  }
+  if (dumps.size() > 1) {
+    // If the per-dump wall-time ranges never overlap, the anchors almost
+    // certainly disagree (e.g. one dump anchored, one with anchor 0) and
+    // cross-dump hop latencies would be clock skew, not latency.
+    std::int64_t max_of_mins = std::numeric_limits<std::int64_t>::min();
+    std::int64_t min_of_maxes = std::numeric_limits<std::int64_t>::max();
+    std::size_t nonempty = 0;
+    bool anchored = false;
+    bool unanchored = false;
+    for (const auto& dump : dumps) {
+      if (dump.spans.empty()) continue;
+      ++nonempty;
+      (dump.wall_anchor != 0 ? anchored : unanchored) = true;
+      std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+      std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+      for (const auto& ev : dump.spans) {
+        lo = std::min(lo, ev.at + dump.wall_anchor);
+        hi = std::max(hi, ev.at + dump.wall_anchor);
+      }
+      max_of_mins = std::max(max_of_mins, lo);
+      min_of_maxes = std::min(min_of_maxes, hi);
+    }
+    // Tolerate small gaps: sparse dumps legitimately leave sub-second holes
+    // between each other's ranges.  A genuine anchor disagreement (one dump
+    // anchored on the wall clock, one not) is off by hours, not seconds.
+    constexpr std::int64_t kAnchorGapTolerance = seconds(30);
+    if (nonempty > 1 && max_of_mins > min_of_maxes + kAnchorGapTolerance) {
+      std::string diag =
+          "wall-clock anchors look mismatched: the dumps' span ranges never "
+          "overlap (gap " +
+          std::to_string(
+              static_cast<double>(max_of_mins - min_of_maxes) / 1e6) +
+          " ms); cross-dump hop latencies are untrustworthy";
+      if (anchored && unanchored) {
+        diag += " (some dumps have wall_anchor 0 while others are anchored)";
+      }
+      report.diagnostics.push_back(std::move(diag));
+    }
+  }
   return report;
 }
 
@@ -399,6 +462,9 @@ std::string stitch_summary(const StitchReport& report) {
   appendf(out, "stitched %zu events across %" PRIu64 " traces",
           report.events.size(), report.trace_count);
   appendf(out, " (dropped %" PRIu64 ")\n", report.dropped_total);
+  for (const auto& diag : report.diagnostics) {
+    appendf(out, "warning: %s\n", diag.c_str());
+  }
   auto stat = [&](const char* name, const OnlineStats& s) {
     if (s.count() == 0) return;
     appendf(out, "%-4s n=%-6zu mean=%.3fms min=%.3fms max=%.3fms\n", name,

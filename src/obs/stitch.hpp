@@ -91,6 +91,12 @@ struct StitchReport {
   /// Summed Tracer losses across dumps; nonzero means the timeline is
   /// incomplete and absence of an event proves nothing.
   std::uint64_t dropped_total = 0;
+
+  /// Human-readable warnings about degenerate input: empty dumps, zero
+  /// anchored spans (every trace id 0, so no per-hop stats), or wall-clock
+  /// anchors so far apart the dumps' timelines never overlap.  Stitching
+  /// still succeeds — these explain *why* the report may be hollow.
+  std::vector<std::string> diagnostics;
 };
 
 StitchReport stitch(const std::vector<TraceDump>& dumps);

@@ -5,7 +5,9 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
 
 namespace frame::runtime {
 
@@ -110,10 +112,18 @@ EdgeSystem::EdgeSystem(SystemOptions options, std::vector<ProxyGroup> proxies)
     ++pub_node;
   }
 
+  // Arm the flight recorder (no-op unless FRAME_POSTMORTEM_DIR is set) and
+  // give it this system's wall anchor so a bundle's trace.dump stitches
+  // onto the same wall axis as live /trace scrapes.
+  obs::flight_recorder().configure_from_env();
+  obs::flight_recorder().set_wall_anchor(wall_now_ns() - clock_.now());
+  obs::flight_recorder().install_fatal_handlers();
+  if (obs::enabled()) obs::slo().configure(topics_);
+
   if (options_.telemetry_port.has_value()) {
     obs::HttpExporter::Options http;
     http.port = *options_.telemetry_port;
-    http.healthz = [this] { return healthz_json(); };
+    http.healthz = [this](int& status) { return healthz_json(&status); };
     http.trace_dump = [this] { return obs::serialize_dump(trace_dump()); };
     auto endpoint = obs::HttpExporter::create(std::move(http));
     if (endpoint.is_ok()) {
@@ -127,17 +137,40 @@ EdgeSystem::EdgeSystem(SystemOptions options, std::vector<ProxyGroup> proxies)
 
 EdgeSystem::~EdgeSystem() { stop(); }
 
-std::string EdgeSystem::healthz_json() const {
+std::string EdgeSystem::healthz_json(int* status_out) const {
   const bool primary_serving = primary_->is_primary();
   const bool backup_serving = backup_->is_primary();
   const bool degraded = primary_serving && !primary_->has_live_peer();
+  // Whoever is serving without a live peer has replication suspended: the
+  // original degraded mode on the Primary, or a promoted Backup that has
+  // no Backup of its own.  Either way fault tolerance is gone and the
+  // endpoint must fail readiness probes.
+  const bool serving_unprotected =
+      degraded || (backup_serving && !backup_->has_live_peer());
+  bool critical = false;
+  if (obs::enabled()) {
+    obs::slo().evaluate(obs::slo().latest_now());
+    critical = obs::slo().critical_firing();
+  }
+  const char* reason = serving_unprotected ? "serving without live peer"
+                       : critical          ? "critical alert firing"
+                                           : "";
+  if (status_out != nullptr) {
+    *status_out = serving_unprotected || critical ? 503 : 200;
+  }
   std::size_t failed_over = 0;
   for (const auto& pub : publishers_) {
     if (pub->failed_over()) ++failed_over;
   }
   std::string out = "{\"status\":\"";
   out += backup_serving ? "failed-over" : (degraded ? "degraded" : "ok");
-  out += "\",\"role\":\"";
+  if (reason[0] != '\0') {
+    out += "\",\"reason\":\"";
+    out += reason;
+  }
+  out += "\",\"critical_alert\":";
+  out += critical ? "true" : "false";
+  out += ",\"role\":\"";
   out += backup_serving ? "backup-promoted" : "primary";
   out += "\",\"primary_serving\":";
   out += primary_serving ? "true" : "false";

@@ -116,7 +116,11 @@ class EdgeSystem {
   }
 
   /// Role / peer-liveness / degraded-mode summary (the /healthz body).
-  std::string healthz_json() const;
+  /// When `status_out` is non-null it receives the HTTP status: 503 when
+  /// the serving broker lacks a live peer (replication suspended — PR 3's
+  /// degraded mode, or post-failover with no Backup of the Backup) or a
+  /// critical SLO alert is firing, 200 otherwise.
+  std::string healthz_json(int* status_out = nullptr) const;
 
   /// The local tracer ring as a stitchable dump, wall-anchored against
   /// this system's driving clock.

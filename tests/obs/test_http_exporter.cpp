@@ -52,7 +52,10 @@ TEST(HttpExporter, ServesMetricsSnapshotHealthzAndTrace) {
   registry().counter("http_test_hits_total").add(9);
   HttpExporter::Options options;
   options.port = 0;  // ephemeral
-  options.healthz = [] { return std::string("{\"status\":\"testing\"}\n"); };
+  options.healthz = [](int& status) {
+    status = 200;
+    return std::string("{\"status\":\"testing\"}\n");
+  };
   auto server = HttpExporter::create(std::move(options));
   ASSERT_TRUE(server.is_ok()) << server.status().to_string();
   const std::uint16_t port = server.value()->port();

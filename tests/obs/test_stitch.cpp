@@ -273,5 +273,80 @@ TEST(Stitch, ValidatorRejectsBadInput) {
                   .is_ok());
 }
 
+TEST(Stitch, EmptyAndPartialInputProduceDiagnosticsNotCrashes) {
+  // No dumps at all.
+  StitchReport none = stitch({});
+  EXPECT_TRUE(none.events.empty());
+  ASSERT_FALSE(none.diagnostics.empty());
+  EXPECT_NE(none.diagnostics[0].find("no dumps"), std::string::npos);
+
+  // One empty dump alongside one with spans: counted, not fatal.
+  TraceDump empty_dump;
+  empty_dump.process = "idle";
+  TraceDump full;
+  full.process = "busy";
+  full.spans.push_back(make_event(SpanKind::kPublish, 7, 0, 100));
+  const StitchReport mixed = stitch({empty_dump, full});
+  EXPECT_EQ(mixed.events.size(), 1u);
+  bool noted = false;
+  for (const auto& diag : mixed.diagnostics) {
+    if (diag.find("1 of 2 dump(s) contain zero spans") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted) << stitch_summary(mixed);
+}
+
+TEST(Stitch, ZeroAnchoredSpansDiagnosed) {
+  // Every span carries trace id 0 (a writer that predates wire trace
+  // context): events merge but nothing correlates.
+  TraceDump dump;
+  dump.process = "old-writer";
+  dump.spans.push_back(make_event(SpanKind::kPublish, 0, 0, 100));
+  dump.spans.push_back(make_event(SpanKind::kDelivered, 0, milliseconds(1), 10));
+  const StitchReport report = stitch({dump});
+  EXPECT_EQ(report.events.size(), 2u);
+  EXPECT_EQ(report.trace_count, 0u);
+  EXPECT_EQ(report.e2e.count(), 0u);
+  bool noted = false;
+  for (const auto& diag : report.diagnostics) {
+    if (diag.find("no anchored spans") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+  // The summary surfaces the warning for frame_analyze --stitch users.
+  EXPECT_NE(stitch_summary(report).find("warning: no anchored spans"),
+            std::string::npos);
+}
+
+TEST(Stitch, MismatchedWallAnchorsDiagnosed) {
+  // Dump A is anchored on the wall clock; dump B forgot its anchor, so its
+  // spans sit near time zero — hours away from A's range.
+  TraceDump a;
+  a.process = "anchored";
+  a.wall_anchor = seconds(3600);
+  a.spans.push_back(make_event(SpanKind::kPublish, 9, milliseconds(1), 100));
+  TraceDump b;
+  b.process = "unanchored";
+  b.wall_anchor = 0;
+  b.spans.push_back(make_event(SpanKind::kDelivered, 9, milliseconds(2), 10));
+  const StitchReport report = stitch({a, b});
+  EXPECT_EQ(report.events.size(), 2u);
+  bool noted = false;
+  for (const auto& diag : report.diagnostics) {
+    if (diag.find("wall-clock anchors look mismatched") != std::string::npos) {
+      noted = true;
+      EXPECT_NE(diag.find("wall_anchor 0"), std::string::npos) << diag;
+    }
+  }
+  EXPECT_TRUE(noted) << stitch_summary(report);
+
+  // Overlapping, consistently anchored dumps stay diagnostic-free.
+  b.wall_anchor = seconds(3600) + microseconds(10);
+  const StitchReport clean = stitch({a, b});
+  for (const auto& diag : clean.diagnostics) {
+    EXPECT_EQ(diag.find("mismatched"), std::string::npos) << diag;
+  }
+}
+
 }  // namespace
 }  // namespace frame::obs
